@@ -1,0 +1,35 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each benchmark regenerates one of the paper's figures at QUICK scale
+(every series present, reduced sweep sizes; see
+``repro.experiments.config``) and asserts the *shape* findings the paper
+reports.  Set ``REPRO_PAPER_SCALE=1`` and run the ``repro.experiments``
+drivers directly for the full-parameter runs recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.experiments import QUICK, FigureResult
+from repro.experiments.config import Scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return QUICK
+
+
+def series_map(result: FigureResult, y: str) -> Dict[str, List[tuple]]:
+    """Per-heuristic ``(x, y)`` series from a figure's rows."""
+    out: Dict[str, List[tuple]] = {}
+    for row in result.rows:
+        name = row.get("heuristic")
+        if name is None:
+            continue
+        out.setdefault(name, []).append((row["x"], row[y]))
+    for series in out.values():
+        series.sort()
+    return out

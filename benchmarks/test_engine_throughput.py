@@ -1,0 +1,53 @@
+"""Raw simulator throughput — how the engine scales with instance size.
+
+Not a paper figure; operational benchmarks for the library itself.
+Reported as moves/second by pytest-benchmark; the assertions only check
+the work was done (throughput numbers are machine-dependent).
+"""
+
+import random
+
+import pytest
+
+from repro.heuristics import LocalRarestHeuristic, RandomHeuristic
+from repro.sim import run_heuristic
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+
+@pytest.mark.parametrize("n", [50, 100, 200])
+def test_local_rarest_throughput(benchmark, n):
+    topo = random_graph(n, random.Random(17))
+    problem = single_file(topo, file_tokens=50)
+
+    result = benchmark.pedantic(
+        lambda: run_heuristic(problem, LocalRarestHeuristic(), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success
+    benchmark.extra_info["moves"] = result.bandwidth
+    benchmark.extra_info["timesteps"] = result.makespan
+
+
+def test_random_heuristic_throughput(benchmark):
+    topo = random_graph(150, random.Random(18))
+    problem = single_file(topo, file_tokens=60)
+
+    result = benchmark.pedantic(
+        lambda: run_heuristic(problem, RandomHeuristic(), seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success
+    benchmark.extra_info["moves"] = result.bandwidth
+
+
+def test_schedule_validation_throughput(benchmark):
+    """The Theorem 3 verifier on a real mid-size schedule."""
+    topo = random_graph(120, random.Random(19))
+    problem = single_file(topo, file_tokens=40)
+    schedule = run_heuristic(problem, LocalRarestHeuristic(), seed=2).schedule
+
+    history = benchmark(lambda: schedule.validate(problem))
+    assert len(history) == schedule.makespan + 1

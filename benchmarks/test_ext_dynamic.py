@@ -1,0 +1,99 @@
+"""Section 6 extension — changing network conditions.
+
+Measures the cost of adversity and the value of clairvoyance:
+
+* heuristics finish under fluctuation/outage schedules, paying a
+  bounded slowdown relative to the static network;
+* the clairvoyant oracle never loses to the online adaptive run and
+  strictly wins on the future-outage trap instance.
+"""
+
+import random
+
+from repro.core.problem import Problem
+from repro.extensions.dynamic import (
+    CapacitySchedule,
+    churn_schedule,
+    constant_conditions,
+    oracle_makespan,
+    periodic_outages,
+    random_fluctuations,
+    run_dynamic,
+)
+from repro.heuristics import make_heuristic
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+
+def _instance():
+    topo = random_graph(30, random.Random(11))
+    return single_file(topo, file_tokens=20)
+
+
+def test_outages_slowdown_bounded(benchmark):
+    problem = _instance()
+
+    def run_under_outages():
+        conditions = periodic_outages(problem, period=4, down_for=1, seed=2)
+        return run_dynamic(conditions, make_heuristic("local"), seed=0)
+
+    degraded = benchmark.pedantic(run_under_outages, rounds=1, iterations=1)
+    static = run_dynamic(
+        constant_conditions(problem), make_heuristic("local"), seed=0
+    )
+    assert degraded.success and static.success
+    assert degraded.makespan >= static.makespan
+    # Losing 1/4 of every link's uptime costs well under 4x.
+    assert degraded.makespan <= 4 * static.makespan
+
+
+def test_fluctuations_slowdown_bounded(benchmark):
+    problem = _instance()
+
+    def run_under_fluctuations():
+        conditions = random_fluctuations(problem, seed=5, low=0.3, high=1.0)
+        return run_dynamic(conditions, make_heuristic("global"), seed=0)
+
+    degraded = benchmark.pedantic(run_under_fluctuations, rounds=1, iterations=1)
+    static = run_dynamic(
+        constant_conditions(problem), make_heuristic("global"), seed=0
+    )
+    assert degraded.success
+    assert static.makespan <= degraded.makespan <= 5 * static.makespan
+
+
+def test_oracle_vs_online_on_trap(benchmark):
+    """The oracle sees the future outage and routes around it; the
+    online run walks into it and arrives later."""
+    p = Problem.build(
+        4,
+        1,
+        [(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)],
+        {0: [0]},
+        {3: [0]},
+    )
+
+    def caps(step, arc):
+        if (arc.src, arc.dst) == (2, 3) and step == 1:
+            return 0  # the online greedy's chosen relay link dies
+        return arc.capacity
+
+    conditions = CapacitySchedule(p, caps, name="trap")
+    oracle = benchmark.pedantic(
+        lambda: oracle_makespan(conditions, 8), rounds=1, iterations=1
+    )
+    assert oracle == 2
+    online = run_dynamic(conditions, make_heuristic("bandwidth"), seed=0)
+    assert online.success
+    assert online.makespan >= oracle
+
+
+def test_churn_oracle_accounts_absences(benchmark):
+    p = Problem.build(
+        3, 1, [(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 1, 1)], {0: [0]}, {2: [0]}
+    )
+    conditions = churn_schedule(p, {1: [(0, 4)]})
+    oracle = benchmark.pedantic(
+        lambda: oracle_makespan(conditions, 12), rounds=1, iterations=1
+    )
+    assert oracle == 6  # wait out the absence, then two hops

@@ -1,0 +1,49 @@
+"""Extension — the streaming piece-selection tradeoff, measured.
+
+The paper's introduction lists per-object latency among the goals its
+evaluation does not cover.  These benchmarks quantify the classic
+tradeoff on a shared swarm: in-order (sequential) fetching minimizes
+playback startup delay, rarest-first minimizes overall makespan.
+"""
+
+import random
+import statistics
+
+from repro.analysis.streaming import streaming_report
+from repro.heuristics import LocalRarestHeuristic, SequentialHeuristic
+from repro.sim import run_heuristic
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+
+def _swarm(seed):
+    return single_file(random_graph(30, random.Random(seed)), file_tokens=24)
+
+
+def test_streaming_tradeoff(benchmark):
+    def run_both():
+        rows = []
+        for seed in range(4):
+            problem = _swarm(seed)
+            seq = run_heuristic(problem, SequentialHeuristic(), seed=seed)
+            rarest = run_heuristic(problem, LocalRarestHeuristic(), seed=seed)
+            assert seq.success and rarest.success
+            rows.append(
+                (
+                    streaming_report(problem, seq.schedule).mean_startup_delay,
+                    streaming_report(problem, rarest.schedule).mean_startup_delay,
+                    seq.makespan,
+                    rarest.makespan,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    seq_delay = statistics.fmean(r[0] for r in rows)
+    rarest_delay = statistics.fmean(r[1] for r in rows)
+    seq_makespan = statistics.fmean(r[2] for r in rows)
+    rarest_makespan = statistics.fmean(r[3] for r in rows)
+    # Sequential starts playback earlier on average...
+    assert seq_delay < rarest_delay
+    # ...while rarest-first completes the swarm no later on average.
+    assert rarest_makespan <= seq_makespan

@@ -1,0 +1,18 @@
+"""Figure 1 — the time/bandwidth tension, regenerated exactly.
+
+The paper's caption numbers are discrete facts, so this benchmark
+asserts exact equality: minimum time 2 steps at 6 bandwidth; minimum
+bandwidth 4 at 3 steps.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_tradeoff(benchmark):
+    result = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    by_quantity = {row["quantity"]: row for row in result.rows}
+    assert by_quantity["min_time_steps"]["measured"] == 2
+    assert by_quantity["min_time_bandwidth"]["measured"] == 6
+    assert by_quantity["min_bandwidth"]["measured"] == 4
+    assert by_quantity["min_bandwidth_steps"]["measured"] == 3
+    assert all(row["match"] for row in result.rows)

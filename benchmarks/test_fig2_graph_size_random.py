@@ -1,0 +1,52 @@
+"""Figure 2 — moves/bandwidth vs graph size on random graphs.
+
+Shape assertions from the paper's discussion:
+
+* bandwidth grows roughly linearly with the vertex count, while the
+  number of moves (makespan) does not correlate with it;
+* round-robin is much slower than the peer-aware heuristics;
+* random performs within a constant factor of the smarter heuristics;
+* with every vertex wanting everything, pruned bandwidth equals the
+  wanted-but-missing lower bound (no flooding waste survives pruning).
+"""
+
+from conftest import series_map
+
+from repro.experiments import fig2
+
+FLOODERS = ("random", "local", "global")
+
+
+def test_fig2_shapes(benchmark, scale):
+    result = benchmark.pedantic(fig2.run, args=(scale,), rounds=1, iterations=1)
+    moves = series_map(result, "moves")
+    bandwidth = series_map(result, "bandwidth")
+    pruned = series_map(result, "pruned_bandwidth")
+    bound = series_map(result, "bound_bandwidth")
+    sizes = [x for x, _ in moves["local"]]
+    assert len(sizes) >= 3
+
+    # Bandwidth of the demand-tracking heuristics grows ~linearly with n.
+    for name in ("local", "global"):
+        first_x, first_bw = bandwidth[name][0]
+        last_x, last_bw = bandwidth[name][-1]
+        growth = (last_bw / first_bw) / (last_x / first_x)
+        assert 0.5 < growth < 2.0, (name, growth)
+
+    # Makespan does not scale with n: the largest graph is not much
+    # slower than the smallest for the smart heuristics.
+    for name in FLOODERS:
+        series = moves[name]
+        assert series[-1][1] <= series[0][1] * 2.5, (name, series)
+
+    for x, _ in moves["local"]:
+        row = {name: dict(moves[name])[x] for name in moves}
+        # Round-robin is the slowest strategy at every size.
+        assert row["round_robin"] >= max(row[f] for f in FLOODERS), (x, row)
+        # Random stays within a small constant factor of the best.
+        assert row["random"] <= 3.0 * min(row[f] for f in FLOODERS) + 1, (x, row)
+
+    # All receivers want everything: pruning removes all flooding waste.
+    for name in FLOODERS:
+        for (x, pruned_bw), (_, bound_bw) in zip(pruned[name], bound[name]):
+            assert pruned_bw == bound_bw, (name, x, pruned_bw, bound_bw)

@@ -1,0 +1,37 @@
+"""Figure 3 — moves/bandwidth vs graph size on transit-stub graphs.
+
+The paper reports the same qualitative behaviour as on random graphs;
+these assertions mirror the Figure 2 bench on the hierarchical topology
+(with slacker constants: transit-stub diameters are larger and noisier).
+"""
+
+from conftest import series_map
+
+from repro.experiments import fig3
+
+FLOODERS = ("random", "local", "global")
+
+
+def test_fig3_shapes(benchmark, scale):
+    result = benchmark.pedantic(fig3.run, args=(scale,), rounds=1, iterations=1)
+    moves = series_map(result, "moves")
+    bandwidth = series_map(result, "bandwidth")
+    pruned = series_map(result, "pruned_bandwidth")
+    bound = series_map(result, "bound_bandwidth")
+
+    # Bandwidth still scales with n on the hierarchical topology.
+    for name in ("local", "global"):
+        first_x, first_bw = bandwidth[name][0]
+        last_x, last_bw = bandwidth[name][-1]
+        growth = (last_bw / first_bw) / (last_x / first_x)
+        assert 0.4 < growth < 2.5, (name, growth)
+
+    # Round-robin remains the slowest at every size.
+    for x, _ in moves["local"]:
+        row = {name: dict(moves[name])[x] for name in moves}
+        assert row["round_robin"] >= max(row[f] for f in FLOODERS), (x, row)
+
+    # All-receivers workload: pruned flooding bandwidth is optimal.
+    for name in FLOODERS:
+        for (x, pruned_bw), (_, bound_bw) in zip(pruned[name], bound[name]):
+            assert pruned_bw == bound_bw, (name, x, pruned_bw, bound_bw)

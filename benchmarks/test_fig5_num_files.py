@@ -1,0 +1,45 @@
+"""Figure 5 — moves/bandwidth vs number of files (single sender).
+
+Shape assertions from the paper:
+
+* the flooding heuristics' bandwidth stays flat as the file is
+  subdivided — "they are performing the same distribution regardless of
+  how the files are broken up";
+* only the bandwidth heuristic improves with the subdivision, tracking
+  the lower bound and the pruned flooding numbers;
+* random remains within a constant factor of the other flooders in
+  moves.
+"""
+
+from conftest import series_map
+
+from repro.experiments import fig5
+
+FLOODERS = ("random", "local", "global")
+
+
+def test_fig5_shapes(benchmark, scale):
+    result = benchmark.pedantic(fig5.run, args=(scale,), rounds=1, iterations=1)
+    bandwidth = series_map(result, "bandwidth")
+    moves = series_map(result, "moves")
+    bound = series_map(result, "bound_bandwidth")
+
+    counts = [x for x, _ in bandwidth["local"]]
+    first, last = counts[0], counts[-1]
+
+    # Flooding bandwidth is flat across the subdivision sweep.
+    for name in ("local", "global"):
+        series = dict(bandwidth[name])
+        assert series[last] > 0.7 * series[first], (name, series)
+
+    # The bandwidth heuristic's consumption drops as demand narrows...
+    bw = dict(bandwidth["bandwidth"])
+    assert bw[last] < 0.35 * bw[first], bw
+    # ...and tracks the lower bound within a small factor at high counts.
+    lb = dict(bound["bandwidth"])
+    assert bw[last] <= 2.5 * lb[last], (bw[last], lb[last])
+
+    # Random stays within a constant factor of the smarter flooders.
+    for x in counts:
+        row = {name: dict(moves[name])[x] for name in moves}
+        assert row["random"] <= 3.5 * min(row[f] for f in FLOODERS) + 1, (x, row)

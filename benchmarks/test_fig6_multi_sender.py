@@ -1,0 +1,31 @@
+"""Figure 6 — the Figure 5 sweep with per-file random senders.
+
+The paper: "Figure 6 closely mimics Figure 5, so we can observe the same
+trends whether the files begin at a single place or multiple places."
+The assertions are therefore the Figure 5 shapes, on the multi-sender
+workload.
+"""
+
+from conftest import series_map
+
+from repro.experiments import fig6
+
+
+def test_fig6_shapes(benchmark, scale):
+    result = benchmark.pedantic(fig6.run, args=(scale,), rounds=1, iterations=1)
+    bandwidth = series_map(result, "bandwidth")
+    bound = series_map(result, "bound_bandwidth")
+
+    counts = [x for x, _ in bandwidth["local"]]
+    first, last = counts[0], counts[-1]
+
+    # Same trends as fig5: flat flooding bandwidth...
+    for name in ("local", "global"):
+        series = dict(bandwidth[name])
+        assert series[last] > 0.6 * series[first], (name, series)
+
+    # ...and a dropping, bound-tracking bandwidth heuristic.
+    bw = dict(bandwidth["bandwidth"])
+    lb = dict(bound["bandwidth"])
+    assert bw[last] < 0.4 * bw[first], bw
+    assert bw[last] <= 2.5 * lb[last], (bw[last], lb[last])

@@ -1,0 +1,34 @@
+"""Figure 7 — the Dominating Set reduction, end to end.
+
+Benchmarks the exact DFOCD decision on reduction instances and asserts
+the theorem's equivalence over a random graph sample (brute-force
+dominating set vs 2-step schedulability).
+"""
+
+import random
+
+from repro.exact import decide_dfocd
+from repro.experiments import fig7
+from repro.reductions import (
+    DominatingSetInstance,
+    brute_force_min_dominating_set,
+    reduce_to_focd,
+)
+
+
+def test_fig7_equivalence(benchmark, scale):
+    result = benchmark.pedantic(fig7.run, args=(scale,), rounds=1, iterations=1)
+    assert result.rows, "the driver produced no rows"
+    assert all(row["match"] for row in result.rows)
+
+
+def test_fig7_single_decision_speed(benchmark):
+    """Time one representative reduction decision (a 5-vertex path, at
+    its exact dominating number)."""
+    graph = DominatingSetInstance.build(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    k = len(brute_force_min_dominating_set(graph))
+    problem = reduce_to_focd(graph, k)
+
+    schedule = benchmark(lambda: decide_dfocd(problem, 2))
+    assert schedule is not None
+    assert schedule.makespan <= 2

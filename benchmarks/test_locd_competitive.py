@@ -1,0 +1,39 @@
+"""Theorem 4 — adversarial competitive ratios of the online algorithms.
+
+Asserts the two measurable halves of Section 4 on the guessing family:
+flooding ratios grow without bound in the decoy count, while
+flood-then-optimal matches the additive-diameter bound (ratio 2 here),
+which is also the family's lower bound for deterministic algorithms.
+"""
+
+from repro.experiments import locd_exp
+from repro.locd import adversarial_ratio, deterministic_lower_bound, LocalRoundRobin
+
+
+def test_locd_ratio_shapes(benchmark, scale):
+    result = benchmark.pedantic(locd_exp.run, args=(scale,), rounds=1, iterations=1)
+    by_algo = {}
+    for row in result.rows:
+        by_algo.setdefault(row["algorithm"], []).append((row["decoys"], row["ratio"]))
+    for series in by_algo.values():
+        series.sort()
+
+    # Flooding ratios grow with the decoy count — no constant bounds them.
+    for name in ("round_robin", "random", "rarest"):
+        series = by_algo[name]
+        assert series[-1][1] > series[0][1], (name, series)
+        assert series[-1][1] > 3.0, (name, series)
+
+    # Flood-then-optimal is pinned at the deterministic lower bound.
+    for (decoys, ratio) in by_algo["flood_then_optimal"]:
+        assert abs(ratio - deterministic_lower_bound(3, decoys)) < 1e-9
+
+
+def test_locd_single_adversary_speed(benchmark):
+    """Time one adversarial sweep for the cheapest algorithm."""
+    outcome = benchmark.pedantic(
+        lambda: adversarial_ratio(LocalRoundRobin, separation=3, num_decoys=8),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.ratio >= 2.0

@@ -1,0 +1,60 @@
+"""Theorems 1–3 — certificate machinery at scale.
+
+The NP-completeness argument rests on schedules having short
+certificates checkable in polynomial time.  These benchmarks exercise
+that machinery on a real (heuristic-produced) schedule of a mid-size
+instance: the polynomial verifier, the Theorem 1 cleanup, and the
+Theorem 2 bit encoding, asserting the proofs' bounds hold on the
+artifacts.
+"""
+
+import random
+
+import pytest
+
+from repro.reductions import (
+    cleanup_schedule,
+    decode_schedule,
+    encode_schedule,
+    polynomial_verifier,
+    theorem1_bound,
+    theorem2_bit_bound,
+)
+from repro.sim import run_heuristic
+from repro.heuristics import LocalRarestHeuristic
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+
+@pytest.fixture(scope="module")
+def instance_and_schedule():
+    topo = random_graph(60, random.Random(9))
+    problem = single_file(topo, file_tokens=50)
+    result = run_heuristic(problem, LocalRarestHeuristic(), seed=4)
+    assert result.success
+    return problem, result.schedule
+
+
+def test_polynomial_verifier_speed(benchmark, instance_and_schedule):
+    problem, schedule = instance_and_schedule
+    assert benchmark(lambda: polynomial_verifier(problem, schedule))
+
+
+def test_theorem1_cleanup(benchmark, instance_and_schedule):
+    problem, schedule = instance_and_schedule
+    cleaned = benchmark(lambda: cleanup_schedule(problem, schedule))
+    assert cleaned.bandwidth <= theorem1_bound(problem)
+    assert polynomial_verifier(problem, cleaned)
+
+
+def test_theorem2_encoding_roundtrip(benchmark, instance_and_schedule):
+    problem, schedule = instance_and_schedule
+    cleaned = cleanup_schedule(problem, schedule)
+
+    def roundtrip():
+        payload, bits = encode_schedule(problem, cleaned)
+        return decode_schedule(problem, payload, bits), bits
+
+    decoded, bits = benchmark(roundtrip)
+    assert decoded == cleaned
+    assert bits <= theorem2_bit_bound(problem)

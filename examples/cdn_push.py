@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""CDN-style targeted push over a transit-stub internet.
+
+Only a subset of edge sites subscribes to each content channel, so
+flooding wastes transit bandwidth.  This example mirrors the paper's
+Figure 4/5 insight on a GT-ITM-style transit-stub topology: the cautious
+*bandwidth* heuristic moves only tokens that will eventually be used,
+cutting transfer volume severalfold against the flooding heuristics at a
+modest cost in rounds — exactly the trade a CDN operator would take.
+"""
+
+import random
+
+from repro.core import prune_schedule, remaining_bandwidth
+from repro.heuristics import standard_heuristics
+from repro.sim import run_heuristic
+from repro.topology import TransitStubParams, transit_stub_graph
+from repro.workloads import file_subdivision
+
+
+def main() -> None:
+    rng = random.Random(42)
+    params = TransitStubParams(
+        num_transit_domains=2,
+        transit_nodes_per_domain=3,
+        stub_domains_per_transit_node=3,
+        stub_nodes_per_domain=5,
+    )
+    topo = transit_stub_graph(params, rng)
+    # 8 content channels of 16 tokens each; each edge site subscribes to one.
+    problem = file_subdivision(topo, num_files=8, rng=rng, total_tokens=128)
+    print(f"topology: {topo.name} -> {topo.num_vertices} nodes, "
+          f"{topo.num_arcs()} directed links")
+    print(f"content: 8 channels x 16 tokens, one subscription per site; "
+          f"ideal volume >= {remaining_bandwidth(problem)} transfers\n")
+
+    print(f"{'strategy':<12} {'rounds':>6} {'transfers':>10} {'pruned':>8} {'waste':>7}")
+    ideal = remaining_bandwidth(problem)
+    for heuristic in standard_heuristics():
+        result = run_heuristic(problem, heuristic, seed=3)
+        assert result.success
+        pruned, _ = prune_schedule(problem, result.schedule)
+        waste = result.bandwidth / ideal
+        print(f"{heuristic.name:<12} {result.makespan:>6} {result.bandwidth:>10} "
+              f"{pruned.bandwidth:>8} {waste:>6.1f}x")
+
+    print("\nthe flooding strategies push every channel to every site; the "
+          "bandwidth heuristic's volume tracks actual subscriptions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Watching NP-hardness happen: Dominating Set solved through FOCD.
+
+Theorem 5 reduces Dominating Set to 2-step FOCD (the paper's Figure 7).
+This example runs the reduction *forwards as an algorithm*: it decides
+dominating sets of a Petersen-like graph purely by asking the exact FOCD
+solver whether the reduced content-distribution instance finishes in two
+timesteps, then recovers the dominating set from the schedule itself.
+"""
+
+from repro.exact import decide_dfocd
+from repro.reductions import (
+    DominatingSetInstance,
+    brute_force_min_dominating_set,
+    extract_dominating_set,
+    greedy_dominating_set,
+    reduce_to_focd,
+)
+
+
+def main() -> None:
+    # A 3x3 rook's-graph-ish instance: grid plus a diagonal chord.
+    graph = DominatingSetInstance.build(
+        6,
+        [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5), (0, 4)],
+    )
+    print(f"graph: {graph.num_vertices} vertices, {len(graph.edges)} edges")
+    print(f"greedy dominating set: {sorted(greedy_dominating_set(graph))}")
+    print(f"exact minimum: {sorted(brute_force_min_dominating_set(graph))}\n")
+
+    for k in range(1, graph.num_vertices + 1):
+        focd = reduce_to_focd(graph, k)
+        schedule = decide_dfocd(focd, 2)
+        if schedule is None:
+            print(f"k={k}: FOCD instance ({focd.num_vertices} vertices, "
+                  f"{focd.num_tokens} tokens) needs > 2 timesteps "
+                  f"=> no dominating set of size {k}")
+        else:
+            witness = extract_dominating_set(graph, k, schedule)
+            print(f"k={k}: 2-timestep schedule found "
+                  f"({schedule.bandwidth} moves) => dominating set "
+                  f"{sorted(witness)}")
+            break
+
+    print("\nan efficient FOCD oracle would decide Dominating Set — "
+          "which is why FOCD is NP-complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""A BitTorrent-style swarm: one seeder, many leechers, rarest-first wins.
+
+The paper's introduction motivates OCD with cooperative file
+distribution (BitTorrent, Bullet, SplitStream, ...).  This example
+builds that scenario — a 200-token file seeded at one vertex of a
+random overlay, wanted by everyone — and shows why swarm systems use
+rarest-first piece selection: the blind round-robin "seeder pushes in
+order" strategy is both slower and vastly more wasteful than the
+peer-aware heuristics.
+"""
+
+import random
+
+from repro.core import progress_curve
+from repro.heuristics import standard_heuristics
+from repro.sim import run_heuristic
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+
+def main() -> None:
+    rng = random.Random(7)
+    swarm = random_graph(100, rng)  # 100 peers, paper capacities [3, 15]
+    problem = single_file(swarm, file_tokens=200)
+    print(f"swarm: {swarm.num_vertices} peers, {swarm.num_arcs()} directed links, "
+          f"file of {problem.num_tokens} pieces seeded at vertex 0\n")
+
+    print(f"{'strategy':<12} {'rounds':>6} {'transfers':>10} {'per-peer':>9}")
+    curves = {}
+    for heuristic in standard_heuristics():
+        result = run_heuristic(problem, heuristic, seed=11)
+        assert result.success
+        per_peer = result.bandwidth / (swarm.num_vertices - 1)
+        curves[heuristic.name] = progress_curve(problem, result.schedule)
+        print(f"{heuristic.name:<12} {result.makespan:>6} "
+              f"{result.bandwidth:>10} {per_peer:>9.1f}")
+
+    print("\noutstanding demand per round (local = rarest-first):")
+    for name in ("round_robin", "local"):
+        curve = curves[name]
+        spark = " ".join(f"{v:>6}" for v in curve[:10])
+        print(f"  {name:<12} {spark}{' ...' if len(curve) > 10 else ''}")
+    print("\nrarest-first drains demand in a few rounds; the blind seeder "
+          "keeps re-sending pieces peers already hold.")
+
+
+if __name__ == "__main__":
+    main()

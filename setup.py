@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml.  This file exists so that editable
+installs keep working on offline machines without the ``wheel`` package,
+via the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — a reproduction of "The Overlay Network Content Distribution
+Problem" (Killian, Vrable, Snoeren, Vahdat, Pasquale; PODC 2005 / UCSD
+TR CS2005-0824).
+
+The package provides:
+
+* :mod:`repro.core` — the OCD model: problems, schedules, the
+  polynomial-time schedule verifier, pruning, lower bounds, metrics.
+* :mod:`repro.sim` — the synchronous round simulator.
+* :mod:`repro.heuristics` — the paper's five online heuristics.
+* :mod:`repro.exact` — the time-indexed integer program, branch-and-bound,
+  and Steiner-tree solvers for optimal FOCD/EOCD on small instances.
+* :mod:`repro.locd` — the local-knowledge (LOCD) model, the
+  flood-then-optimal algorithm, and the Theorem 4 adversarial families.
+* :mod:`repro.reductions` — the Dominating Set reduction (NP-hardness)
+  and the Theorem 1/2 certificates.
+* :mod:`repro.topology` / :mod:`repro.workloads` — the graph generators
+  and have/want scenarios of the evaluation section.
+* :mod:`repro.experiments` — drivers that regenerate every figure.
+"""
+
+from repro.core import (
+    Arc,
+    Move,
+    Problem,
+    Schedule,
+    ScheduleError,
+    Timestep,
+    TokenSet,
+    evaluate_schedule,
+    prune_schedule,
+    remaining_bandwidth,
+    remaining_timesteps,
+)
+from repro.heuristics import make_heuristic, standard_heuristics
+from repro.sim import Engine, RunResult, run_heuristic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Arc",
+    "Engine",
+    "Move",
+    "Problem",
+    "RunResult",
+    "Schedule",
+    "ScheduleError",
+    "Timestep",
+    "TokenSet",
+    "__version__",
+    "evaluate_schedule",
+    "make_heuristic",
+    "prune_schedule",
+    "remaining_bandwidth",
+    "remaining_timesteps",
+    "run_heuristic",
+    "standard_heuristics",
+]

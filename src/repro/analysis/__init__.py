@@ -1,0 +1,20 @@
+"""Post-hoc analyses of schedules beyond makespan and bandwidth:
+streaming startup delays (per-object latency) and heuristic comparison
+summaries."""
+
+from repro.analysis.comparison import ComparisonRow, compare_heuristics
+from repro.analysis.streaming import (
+    StreamingReport,
+    arrival_times,
+    playback_delays,
+    streaming_report,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "StreamingReport",
+    "arrival_times",
+    "compare_heuristics",
+    "playback_delays",
+    "streaming_report",
+]

@@ -1,0 +1,95 @@
+"""One-call comparison of heuristics on a problem, across every metric
+this library computes.
+
+Ties the whole toolkit together: simulate each heuristic, then report
+makespan, bandwidth (raw and pruned), lower-bound gaps, fairness, and
+streaming startup delay side by side.  Used by the examples and handy in
+notebooks; the figure drivers use the leaner
+:mod:`repro.experiments.runner` instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.streaming import streaming_report
+from repro.core.bounds import remaining_bandwidth, remaining_timesteps
+from repro.core.fairness import account_schedule
+from repro.core.pruning import prune_schedule
+from repro.core.problem import Problem
+from repro.heuristics import standard_heuristics
+from repro.sim.engine import Engine, HeuristicProtocol
+
+__all__ = ["ComparisonRow", "compare_heuristics"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """All metrics for one heuristic on one problem."""
+
+    heuristic: str
+    success: bool
+    makespan: int
+    bandwidth: int
+    pruned_bandwidth: int
+    makespan_gap: float  # makespan / timestep lower bound (>= 1)
+    bandwidth_gap: float  # pruned bandwidth / demand bound (>= 1)
+    upload_jain: float
+    redundancy: float
+    mean_startup_delay: float
+
+    def as_dict(self) -> dict:
+        return {
+            "heuristic": self.heuristic,
+            "ok": self.success,
+            "makespan": self.makespan,
+            "bandwidth": self.bandwidth,
+            "pruned_bw": self.pruned_bandwidth,
+            "time_gap": round(self.makespan_gap, 2),
+            "bw_gap": round(self.bandwidth_gap, 2),
+            "jain": round(self.upload_jain, 3),
+            "redundancy": round(self.redundancy, 3),
+            "startup": round(self.mean_startup_delay, 2),
+        }
+
+
+def compare_heuristics(
+    problem: Problem,
+    heuristics: Optional[Sequence[HeuristicProtocol]] = None,
+    seed: int = 0,
+    playback_rate: int = 1,
+) -> List[ComparisonRow]:
+    """Run each heuristic once and collect the full metric row.
+
+    Defaults to the paper's five heuristics; pass any sequence of
+    heuristic objects (e.g. including
+    :class:`repro.heuristics.SequentialHeuristic`) to widen the field.
+    """
+    if heuristics is None:
+        heuristics = standard_heuristics()
+    bound_ts = max(remaining_timesteps(problem), 1)
+    bound_bw = max(remaining_bandwidth(problem), 1)
+    rows: List[ComparisonRow] = []
+    for heuristic in heuristics:
+        engine = Engine(problem, heuristic, rng=random.Random(seed))
+        result = engine.run()
+        pruned, _ = prune_schedule(problem, result.schedule)
+        fairness = account_schedule(problem, result.schedule)
+        streaming = streaming_report(problem, result.schedule, rate=playback_rate)
+        rows.append(
+            ComparisonRow(
+                heuristic=heuristic.name,
+                success=result.success,
+                makespan=result.makespan,
+                bandwidth=result.bandwidth,
+                pruned_bandwidth=pruned.bandwidth,
+                makespan_gap=result.makespan / bound_ts,
+                bandwidth_gap=pruned.bandwidth / bound_bw,
+                upload_jain=fairness.upload_jain,
+                redundancy=fairness.redundancy,
+                mean_startup_delay=streaming.mean_startup_delay,
+            )
+        )
+    return rows

@@ -1,0 +1,277 @@
+"""Command-line interface.
+
+Two halves:
+
+* reproduction — regenerate the paper's figures::
+
+      ocd-repro list
+      ocd-repro run fig4 [--paper-scale] [--csv-dir out/]
+      ocd-repro run all --paper-scale --csv-dir results/
+
+* toolkit — work with OCD instances as JSON files::
+
+      ocd-repro generate --family random --out problem.json
+      ocd-repro solve problem.json
+      ocd-repro simulate problem.json --heuristic local --render
+      ocd-repro compare problem.json
+
+(equivalently ``python -m repro ...``).  Problem files are the
+``Problem.to_dict`` JSON form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.problem import Problem
+
+__all__ = ["main"]
+
+_GENERATE_FAMILIES = ("random", "bottleneck", "dag", "spread")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ocd-repro",
+        description=(
+            "Reproduction of 'The Overlay Network Content Distribution "
+            "Problem' (Killian et al., 2005): regenerate the evaluation "
+            "figures, or solve/simulate OCD instances."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (figure number) or 'all'")
+    run.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full parameters (minutes instead of seconds)",
+    )
+    run.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each experiment's rows to <dir>/<id>.csv",
+    )
+
+    generate = sub.add_parser(
+        "generate", help="generate a random OCD instance as JSON"
+    )
+    generate.add_argument("--family", choices=_GENERATE_FAMILIES, default="random")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--size", type=int, default=6, help="approximate vertex count"
+    )
+    generate.add_argument("--tokens", type=int, default=3)
+    generate.add_argument(
+        "--out", default="-", help="output path ('-' for stdout)"
+    )
+
+    solve = sub.add_parser(
+        "solve", help="exact optima for a small instance (JSON file)"
+    )
+    solve.add_argument("problem", help="path to a Problem JSON file")
+
+    simulate = sub.add_parser("simulate", help="run one heuristic on an instance")
+    simulate.add_argument("problem", help="path to a Problem JSON file")
+    simulate.add_argument(
+        "--heuristic",
+        default="local",
+        help="round_robin | random | local | bandwidth | global | sequential",
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--render",
+        action="store_true",
+        help="print the pruned schedule step by step (small instances)",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="all heuristics x all metrics on an instance"
+    )
+    compare.add_argument("problem", help="path to a Problem JSON file")
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--with-sequential",
+        action="store_true",
+        help="include the streaming (in-order) heuristic",
+    )
+    return parser
+
+
+def _load_problem(path: str) -> Problem:
+    with open(path) as handle:
+        return Problem.from_dict(json.load(handle))
+
+
+def _cmd_list() -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    for name in sorted(ALL_EXPERIMENTS):
+        print(name)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS, PAPER, QUICK
+
+    if args.experiment != "all" and args.experiment not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; choose from "
+            f"{', '.join(sorted(ALL_EXPERIMENTS))} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    scale = PAPER if args.paper_scale else QUICK
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](scale)
+        elapsed = time.perf_counter() - started
+        print(result.to_text())
+        print(f"({name} completed in {elapsed:.1f}s at {scale.name} scale)\n")
+        if args.csv_dir:
+            os.makedirs(args.csv_dir, exist_ok=True)
+            path = os.path.join(args.csv_dir, f"{name}.csv")
+            result.to_csv(path)
+            print(f"wrote {path}\n")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.topology.generators import (
+        adversarial_spread_instance,
+        bottleneck_instance,
+        dag_instance,
+        random_instance,
+    )
+
+    rng = random.Random(args.seed)
+    if args.family == "random":
+        problem = random_instance(
+            rng, max_vertices=max(2, args.size), max_tokens=max(1, args.tokens)
+        )
+    elif args.family == "bottleneck":
+        problem = bottleneck_instance(
+            rng, cluster_size=max(1, args.size // 2), num_tokens=max(1, args.tokens)
+        )
+    elif args.family == "dag":
+        problem = dag_instance(
+            rng, num_vertices=max(2, args.size), num_tokens=max(1, args.tokens)
+        )
+    else:
+        problem = adversarial_spread_instance(
+            rng, num_vertices=max(2, args.size), num_tokens=max(1, args.tokens)
+        )
+    payload = json.dumps(problem.to_dict(), indent=2)
+    if args.out == "-":
+        print(payload)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.out}: {problem}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    from repro.core.bounds import remaining_bandwidth, remaining_timesteps
+    from repro.exact import (
+        min_bandwidth_exact,
+        solve_eocd_ilp,
+        solve_focd_bnb,
+    )
+
+    problem = _load_problem(args.problem)
+    print(f"instance: {problem}")
+    if not problem.is_satisfiable():
+        print("unsatisfiable: some wanted token cannot reach its wanter")
+        return 1
+    print(
+        f"counting bounds: >= {remaining_timesteps(problem)} timesteps, "
+        f">= {remaining_bandwidth(problem)} moves"
+    )
+    optimum, witness = solve_focd_bnb(problem)
+    print(f"optimal makespan (FOCD): {optimum} timesteps")
+    min_bw = min_bandwidth_exact(problem)
+    print(f"optimal bandwidth (EOCD): {min_bw} moves")
+    hybrid = solve_eocd_ilp(problem, optimum)
+    print(
+        f"min bandwidth among fastest schedules: {hybrid.bandwidth} moves "
+        f"at {optimum} timesteps"
+    )
+    if hybrid.bandwidth > min_bw:
+        print("note: time and bandwidth optima conflict on this instance")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.core.pruning import prune_schedule
+    from repro.heuristics import HEURISTIC_FACTORIES, SequentialHeuristic
+    from repro.sim import run_heuristic, schedule_to_text
+
+    problem = _load_problem(args.problem)
+    if args.heuristic == "sequential":
+        heuristic = SequentialHeuristic()
+    elif args.heuristic in HEURISTIC_FACTORIES:
+        heuristic = HEURISTIC_FACTORIES[args.heuristic]()
+    else:
+        print(
+            f"unknown heuristic {args.heuristic!r}; choose from "
+            f"{', '.join(sorted(HEURISTIC_FACTORIES))}, sequential",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_heuristic(problem, heuristic, seed=args.seed)
+    pruned, stats = prune_schedule(problem, result.schedule)
+    print(
+        f"{heuristic.name} on {problem}: success={result.success} "
+        f"makespan={result.makespan} bandwidth={result.bandwidth} "
+        f"(pruned {pruned.bandwidth})"
+    )
+    if args.render:
+        print(schedule_to_text(problem, pruned))
+    return 0 if result.success else 1
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis import compare_heuristics
+    from repro.experiments.report import format_table
+    from repro.heuristics import SequentialHeuristic, standard_heuristics
+
+    problem = _load_problem(args.problem)
+    field = standard_heuristics()
+    if args.with_sequential:
+        field.append(SequentialHeuristic())
+    rows = compare_heuristics(problem, heuristics=field, seed=args.seed)
+    print(f"instance: {problem}")
+    print(format_table([row.as_dict() for row in rows]))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Core model of the Overlay Network Content Distribution problem.
+
+Exports the problem instance (:class:`Problem`, :class:`Arc`), token sets,
+schedules with the polynomial-time validity/success verifier, the pruning
+post-pass, the paper's lower bounds, and schedule metrics.
+"""
+
+from repro.core.fairness import (
+    FairnessReport,
+    VertexAccounting,
+    account_schedule,
+    jain_index,
+)
+from repro.core.bounds import (
+    InfeasibleBoundError,
+    diameter_knowledge_bound,
+    lookahead_timestep_bound,
+    remaining_bandwidth,
+    remaining_timesteps,
+)
+from repro.core.metrics import (
+    ScheduleMetrics,
+    completion_times,
+    evaluate_schedule,
+    progress_curve,
+)
+from repro.core.problem import Arc, Problem, ProblemValidationError
+from repro.core.pruning import PruneStats, drop_empty_tail, prune_schedule
+from repro.core.schedule import Move, Schedule, ScheduleError, Timestep
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+
+__all__ = [
+    "Arc",
+    "EMPTY_TOKENSET",
+    "FairnessReport",
+    "InfeasibleBoundError",
+    "Move",
+    "Problem",
+    "ProblemValidationError",
+    "PruneStats",
+    "Schedule",
+    "ScheduleError",
+    "ScheduleMetrics",
+    "Timestep",
+    "TokenSet",
+    "VertexAccounting",
+    "account_schedule",
+    "completion_times",
+    "jain_index",
+    "diameter_knowledge_bound",
+    "drop_empty_tail",
+    "evaluate_schedule",
+    "lookahead_timestep_bound",
+    "progress_curve",
+    "prune_schedule",
+    "remaining_bandwidth",
+    "remaining_timesteps",
+]

@@ -1,0 +1,122 @@
+"""Contribution accounting and fairness metrics.
+
+The paper's introduction lists fairness — "ensuring that nodes
+contribute roughly in proportion to one another" — among the target
+metrics of content distribution systems, though its evaluation focuses
+on speed and bandwidth.  This module supplies the accounting needed to
+study that axis on any schedule:
+
+* per-vertex **upload** (tokens sent) and **download** (tokens received,
+  split into useful first-copies and redundant duplicates);
+* **Jain's fairness index** over uploads — 1.0 when every participant
+  contributes equally, approaching ``1/n`` when one vertex does all the
+  work;
+* **share ratios** (upload/useful-download), the BitTorrent notion of a
+  node's give/take balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.problem import Problem
+from repro.core.schedule import Schedule
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+
+__all__ = ["VertexAccounting", "FairnessReport", "account_schedule", "jain_index"]
+
+
+@dataclass(frozen=True)
+class VertexAccounting:
+    """What one vertex gave and took over a schedule."""
+
+    vertex: int
+    uploaded: int
+    downloaded_useful: int
+    downloaded_redundant: int
+
+    @property
+    def downloaded(self) -> int:
+        return self.downloaded_useful + self.downloaded_redundant
+
+    @property
+    def share_ratio(self) -> Optional[float]:
+        """Upload per useful download (``None`` for pure seeders that
+        never downloaded anything)."""
+        if self.downloaded_useful == 0:
+            return None
+        return self.uploaded / self.downloaded_useful
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 for perfectly equal allocations, ``1/n`` when a single
+    participant takes everything.  An all-zero allocation counts as
+    perfectly fair (everyone equally contributed nothing).
+    """
+    if not values:
+        raise ValueError("jain_index needs at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("jain_index is defined for non-negative values")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Schedule-wide fairness summary."""
+
+    per_vertex: tuple
+    upload_jain: float
+    participation: float  # fraction of vertices that uploaded anything
+    max_upload_share: float  # largest single vertex's share of all uploads
+    redundancy: float  # redundant downloads / total downloads (0 if none)
+
+    def vertex(self, v: int) -> VertexAccounting:
+        return self.per_vertex[v]
+
+
+def account_schedule(problem: Problem, schedule: Schedule) -> FairnessReport:
+    """Audit a schedule: who uploaded, who downloaded, how fairly.
+
+    A received token counts as *useful* the first time the vertex gains
+    it and *redundant* on every re-delivery (including same-step
+    duplicates beyond the first).
+    """
+    uploaded = [0] * problem.num_vertices
+    useful = [0] * problem.num_vertices
+    redundant = [0] * problem.num_vertices
+    possession: List[TokenSet] = list(problem.have)
+    for step in schedule.steps:
+        arriving: Dict[int, TokenSet] = {}
+        for (src, dst), tokens in step.sends.items():
+            uploaded[src] += len(tokens)
+            fresh = tokens - possession[dst]
+            already_arriving = arriving.get(dst, EMPTY_TOKENSET)
+            new_now = fresh - already_arriving
+            useful[dst] += len(new_now)
+            redundant[dst] += len(tokens) - len(new_now)
+            arriving[dst] = already_arriving | fresh
+        for dst, tokens in arriving.items():
+            possession[dst] = possession[dst] | tokens
+
+    per_vertex = tuple(
+        VertexAccounting(v, uploaded[v], useful[v], redundant[v])
+        for v in range(problem.num_vertices)
+    )
+    total_up = sum(uploaded)
+    total_down = sum(useful) + sum(redundant)
+    return FairnessReport(
+        per_vertex=per_vertex,
+        upload_jain=jain_index(uploaded),
+        participation=(
+            sum(1 for u in uploaded if u > 0) / problem.num_vertices
+        ),
+        max_upload_share=(max(uploaded) / total_up) if total_up else 0.0,
+        redundancy=(sum(redundant) / total_down) if total_down else 0.0,
+    )

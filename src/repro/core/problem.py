@@ -1,0 +1,489 @@
+"""The Overlay Network Content Distribution problem instance.
+
+Section 3.1 of the paper defines the model: a simple, weighted directed
+graph ``G = (V, E)`` with arc capacities ``c : E -> N``, a set of tokens
+``T``, a *have* function ``h : V -> 2^T`` giving each vertex's initial
+tokens, and a *want* function ``w : V -> 2^T`` giving the tokens each
+vertex must eventually possess.
+
+:class:`Problem` is the immutable in-memory form of one instance.  It is
+shared by every other subsystem (simulator, heuristics, exact solvers,
+bounds, reductions), so it also precomputes the adjacency structure and
+offers the graph-theoretic helpers (distances, diameter, reachability)
+those subsystems need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+
+__all__ = ["Arc", "Problem", "ProblemValidationError"]
+
+_UNREACHABLE = -1
+
+
+class ProblemValidationError(ValueError):
+    """Raised when a :class:`Problem` is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A directed overlay link ``src -> dst`` with an integer capacity.
+
+    Capacity is the number of tokens the link can carry in one timestep
+    (the paper's ``c(u, v)``).  Multi-arcs in an input graph should be
+    merged into one arc whose capacity is the sum, as the paper notes.
+    """
+
+    src: int
+    dst: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ProblemValidationError(
+                f"arc endpoints must be non-negative, got ({self.src}, {self.dst})"
+            )
+        if self.src == self.dst:
+            raise ProblemValidationError(
+                f"self-arcs are implicit (storage); explicit self-arc at {self.src}"
+            )
+        if self.capacity < 1:
+            raise ProblemValidationError(
+                f"arc ({self.src}, {self.dst}) must have capacity >= 1, "
+                f"got {self.capacity}"
+            )
+
+
+class Problem:
+    """One immutable OCD instance: graph, capacities, tokens, have/want.
+
+    Parameters
+    ----------
+    num_vertices:
+        ``|V|``; vertices are the integers ``0..num_vertices-1``.
+    num_tokens:
+        ``|T|``; tokens are the integers ``0..num_tokens-1``.
+    arcs:
+        The directed arcs with their capacities.  At most one arc per
+        ordered vertex pair (the graph is simple).
+    have:
+        ``h(v)`` for each vertex, as a sequence indexed by vertex id.
+    want:
+        ``w(v)`` for each vertex, as a sequence indexed by vertex id.
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "num_tokens",
+        "arcs",
+        "have",
+        "want",
+        "name",
+        "_out_arcs",
+        "_in_arcs",
+        "_capacity",
+        "_dist_cache",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        num_tokens: int,
+        arcs: Iterable[Arc],
+        have: Sequence[TokenSet],
+        want: Sequence[TokenSet],
+        name: str = "",
+    ) -> None:
+        self.num_vertices = num_vertices
+        self.num_tokens = num_tokens
+        self.arcs: Tuple[Arc, ...] = tuple(arcs)
+        self.have: Tuple[TokenSet, ...] = tuple(have)
+        self.want: Tuple[TokenSet, ...] = tuple(want)
+        self.name = name
+        self._dist_cache: Optional[List[List[int]]] = None
+        self._validate()
+        self._build_adjacency()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        num_vertices: int,
+        num_tokens: int,
+        arcs: Iterable[Tuple[int, int, int]],
+        have: Mapping[int, Iterable[int]],
+        want: Mapping[int, Iterable[int]],
+        name: str = "",
+    ) -> "Problem":
+        """Convenience constructor from plain tuples and dicts.
+
+        ``arcs`` is an iterable of ``(src, dst, capacity)`` triples;
+        ``have`` and ``want`` map vertex ids to iterables of token ids
+        (vertices absent from the mapping get the empty set).
+        """
+        have_sets = [
+            TokenSet.from_iterable(have.get(v, ())) for v in range(num_vertices)
+        ]
+        want_sets = [
+            TokenSet.from_iterable(want.get(v, ())) for v in range(num_vertices)
+        ]
+        return cls(
+            num_vertices,
+            num_tokens,
+            [Arc(u, v, c) for (u, v, c) in arcs],
+            have_sets,
+            want_sets,
+            name=name,
+        )
+
+    @classmethod
+    def from_networkx(
+        cls,
+        graph,
+        num_tokens: int,
+        have: Mapping[int, Iterable[int]],
+        want: Mapping[int, Iterable[int]],
+        capacity_attr: str = "capacity",
+        default_capacity: int = 1,
+        name: str = "",
+    ) -> "Problem":
+        """Build a :class:`Problem` from a networkx graph.
+
+        Undirected graphs become symmetric arc pairs.  Nodes must be the
+        integers ``0..n-1`` (relabel first if not).  Capacities come from
+        the given edge attribute, defaulting to ``default_capacity``.
+        """
+        n = graph.number_of_nodes()
+        if sorted(graph.nodes()) != list(range(n)):
+            raise ProblemValidationError(
+                "networkx graph nodes must be the integers 0..n-1; "
+                "use networkx.convert_node_labels_to_integers first"
+            )
+        arcs: List[Arc] = []
+        if graph.is_directed():
+            for u, v, data in graph.edges(data=True):
+                arcs.append(Arc(u, v, int(data.get(capacity_attr, default_capacity))))
+        else:
+            for u, v, data in graph.edges(data=True):
+                cap = int(data.get(capacity_attr, default_capacity))
+                arcs.append(Arc(u, v, cap))
+                arcs.append(Arc(v, u, cap))
+        return cls.build(
+            n,
+            num_tokens,
+            [(a.src, a.dst, a.capacity) for a in arcs],
+            have,
+            want,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Validation and adjacency
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.num_vertices < 1:
+            raise ProblemValidationError(
+                f"need at least one vertex, got {self.num_vertices}"
+            )
+        if self.num_tokens < 0:
+            raise ProblemValidationError(
+                f"num_tokens must be non-negative, got {self.num_tokens}"
+            )
+        if len(self.have) != self.num_vertices:
+            raise ProblemValidationError(
+                f"have has {len(self.have)} entries for {self.num_vertices} vertices"
+            )
+        if len(self.want) != self.num_vertices:
+            raise ProblemValidationError(
+                f"want has {len(self.want)} entries for {self.num_vertices} vertices"
+            )
+        universe = TokenSet.full(self.num_tokens)
+        for v in range(self.num_vertices):
+            if not self.have[v] <= universe:
+                raise ProblemValidationError(
+                    f"have({v}) contains tokens outside 0..{self.num_tokens - 1}"
+                )
+            if not self.want[v] <= universe:
+                raise ProblemValidationError(
+                    f"want({v}) contains tokens outside 0..{self.num_tokens - 1}"
+                )
+        seen = set()
+        for arc in self.arcs:
+            if arc.src >= self.num_vertices or arc.dst >= self.num_vertices:
+                raise ProblemValidationError(
+                    f"arc ({arc.src}, {arc.dst}) references a vertex "
+                    f">= {self.num_vertices}"
+                )
+            key = (arc.src, arc.dst)
+            if key in seen:
+                raise ProblemValidationError(
+                    f"duplicate arc {key}; merge multi-arcs by summing capacities"
+                )
+            seen.add(key)
+
+    def _build_adjacency(self) -> None:
+        out_arcs: List[List[Arc]] = [[] for _ in range(self.num_vertices)]
+        in_arcs: List[List[Arc]] = [[] for _ in range(self.num_vertices)]
+        capacity: Dict[Tuple[int, int], int] = {}
+        for arc in self.arcs:
+            out_arcs[arc.src].append(arc)
+            in_arcs[arc.dst].append(arc)
+            capacity[(arc.src, arc.dst)] = arc.capacity
+        self._out_arcs = tuple(tuple(lst) for lst in out_arcs)
+        self._in_arcs = tuple(tuple(lst) for lst in in_arcs)
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------
+    # Graph queries
+    # ------------------------------------------------------------------
+    def out_arcs(self, v: int) -> Tuple[Arc, ...]:
+        """Arcs leaving vertex ``v``."""
+        return self._out_arcs[v]
+
+    def in_arcs(self, v: int) -> Tuple[Arc, ...]:
+        """Arcs entering vertex ``v``."""
+        return self._in_arcs[v]
+
+    def out_neighbors(self, v: int) -> Tuple[int, ...]:
+        return tuple(a.dst for a in self._out_arcs[v])
+
+    def in_neighbors(self, v: int) -> Tuple[int, ...]:
+        return tuple(a.src for a in self._in_arcs[v])
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """All vertices adjacent to ``v`` in either direction.
+
+        Knowledge in the LOCD model travels bidirectionally along arcs
+        (Section 4.1), so gossip neighborhoods use this, not out/in alone.
+        """
+        return tuple(
+            sorted({a.dst for a in self._out_arcs[v]} | {a.src for a in self._in_arcs[v]})
+        )
+
+    def capacity(self, u: int, v: int) -> int:
+        """Capacity of arc ``(u, v)``; raises :class:`KeyError` if absent."""
+        return self._capacity[(u, v)]
+
+    def has_arc(self, u: int, v: int) -> bool:
+        return (u, v) in self._capacity
+
+    def in_capacity(self, v: int) -> int:
+        """Total token-per-step intake of vertex ``v`` (sum of in-arc capacities)."""
+        return sum(a.capacity for a in self._in_arcs[v])
+
+    def out_capacity(self, v: int) -> int:
+        """Total token-per-step output of vertex ``v``."""
+        return sum(a.capacity for a in self._out_arcs[v])
+
+    def distances_from(self, src: int) -> List[int]:
+        """Unweighted (hop-count) shortest-path distances from ``src``.
+
+        Unreachable vertices get ``-1``.  Results are cached per problem,
+        so repeated calls (the bounds module sweeps all sources) are cheap.
+        """
+        if self._dist_cache is None:
+            self._dist_cache = [[] for _ in range(self.num_vertices)]
+        cached = self._dist_cache[src]
+        if cached:
+            return cached
+        dist = [_UNREACHABLE] * self.num_vertices
+        dist[src] = 0
+        queue = deque([src])
+        while queue:
+            u = queue.popleft()
+            for arc in self._out_arcs[u]:
+                if dist[arc.dst] == _UNREACHABLE:
+                    dist[arc.dst] = dist[u] + 1
+                    queue.append(arc.dst)
+        self._dist_cache[src] = dist
+        return dist
+
+    def distance(self, src: int, dst: int) -> int:
+        """Hop distance ``src -> dst`` (``-1`` if unreachable)."""
+        return self.distances_from(src)[dst]
+
+    def diameter(self) -> int:
+        """Longest finite shortest-path distance between any vertex pair.
+
+        Ignores unreachable pairs; returns 0 for a single vertex.  Used by
+        the LOCD flood-then-optimal algorithm (Section 4.2), which floods
+        knowledge for ``diameter`` steps before executing an optimal plan.
+        """
+        best = 0
+        for v in range(self.num_vertices):
+            for d in self.distances_from(v):
+                if d > best:
+                    best = d
+        return best
+
+    # ------------------------------------------------------------------
+    # Problem-level queries
+    # ------------------------------------------------------------------
+    def all_tokens(self) -> TokenSet:
+        return TokenSet.full(self.num_tokens)
+
+    def holders(self, token: int) -> List[int]:
+        """All vertices that initially possess ``token``."""
+        return [v for v in range(self.num_vertices) if token in self.have[v]]
+
+    def wanters(self, token: int) -> List[int]:
+        """All vertices that want ``token``."""
+        return [v for v in range(self.num_vertices) if token in self.want[v]]
+
+    def missing(self, v: int) -> TokenSet:
+        """Tokens vertex ``v`` wants but does not initially have."""
+        return self.want[v] - self.have[v]
+
+    def total_demand(self) -> int:
+        """Total wanted-but-missing token count — the paper's trivial
+        remaining-bandwidth lower bound evaluated at the initial state."""
+        return sum(len(self.missing(v)) for v in range(self.num_vertices))
+
+    def is_trivially_satisfied(self) -> bool:
+        """True when every want is already covered by the initial haves."""
+        return all(self.want[v] <= self.have[v] for v in range(self.num_vertices))
+
+    def is_satisfiable(self) -> bool:
+        """Whether *some* successful schedule exists.
+
+        A token can reach a wanter iff the wanter is graph-reachable from
+        at least one initial holder; capacities never make an instance
+        infeasible (a single move per timestep always fits), they only
+        slow it down.  This runs one BFS per vertex at worst.
+        """
+        for token in range(self.num_tokens):
+            holders = self.holders(token)
+            if not holders:
+                if any(
+                    token in self.want[v] and token not in self.have[v]
+                    for v in range(self.num_vertices)
+                ):
+                    return False
+                continue
+            reachable = [False] * self.num_vertices
+            queue = deque()
+            for h in holders:
+                reachable[h] = True
+                queue.append(h)
+            while queue:
+                u = queue.popleft()
+                for arc in self._out_arcs[u]:
+                    if not reachable[arc.dst]:
+                        reachable[arc.dst] = True
+                        queue.append(arc.dst)
+            for v in range(self.num_vertices):
+                if token in self.want[v] and not reachable[v]:
+                    return False
+        return True
+
+    def move_bound(self) -> int:
+        """Theorem 1's bound: any satisfiable instance needs at most
+        ``m(n-1)`` moves (each vertex gains each token at most once)."""
+        return self.num_tokens * (self.num_vertices - 1)
+
+    def encoding_bits_bound(self) -> int:
+        """Theorem 2's bound on the description length of some successful
+        schedule, in bits: ``O(nm (log n + log m))``.
+
+        We return the explicit count from the proof: ``m(n-1)`` moves of
+        ``2 log2 n + log2 m`` bits each, plus per-timestep segment counts
+        of ``log2(nm)`` bits for up to ``m(n-1)`` timesteps.
+        """
+        import math
+
+        n, m = self.num_vertices, self.num_tokens
+        if n <= 1 or m == 0:
+            return 0
+        moves = m * (n - 1)
+        bits_per_move = 2 * math.ceil(math.log2(max(n, 2))) + math.ceil(
+            math.log2(max(m, 2))
+        )
+        segment_bits = math.ceil(math.log2(max(n * m, 2)))
+        return moves * (bits_per_move + segment_bits)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form suitable for ``json.dump``."""
+        return {
+            "name": self.name,
+            "num_vertices": self.num_vertices,
+            "num_tokens": self.num_tokens,
+            "arcs": [[a.src, a.dst, a.capacity] for a in self.arcs],
+            "have": {
+                str(v): sorted(self.have[v])
+                for v in range(self.num_vertices)
+                if self.have[v]
+            },
+            "want": {
+                str(v): sorted(self.want[v])
+                for v in range(self.num_vertices)
+                if self.want[v]
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Problem":
+        """Inverse of :meth:`to_dict`."""
+        return cls.build(
+            int(data["num_vertices"]),
+            int(data["num_tokens"]),
+            [tuple(arc) for arc in data["arcs"]],
+            {int(v): tokens for v, tokens in data.get("have", {}).items()},
+            {int(v): tokens for v, tokens in data.get("want", {}).items()},
+            name=data.get("name", ""),
+        )
+
+    def to_networkx(self):
+        """Export the overlay graph as a ``networkx.DiGraph`` with
+        ``capacity`` edge attributes and ``have``/``want`` node attributes."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for v in range(self.num_vertices):
+            g.add_node(v, have=sorted(self.have[v]), want=sorted(self.want[v]))
+        for arc in self.arcs:
+            g.add_edge(arc.src, arc.dst, capacity=arc.capacity)
+        return g
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Problem):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and self.num_tokens == other.num_tokens
+            and set(self.arcs) == set(other.arcs)
+            and self.have == other.have
+            and self.want == other.want
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.num_vertices,
+                self.num_tokens,
+                frozenset(self.arcs),
+                self.have,
+                self.want,
+            )
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Problem{label} n={self.num_vertices} m={self.num_tokens} "
+            f"arcs={len(self.arcs)}>"
+        )

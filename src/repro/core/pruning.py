@@ -1,0 +1,135 @@
+"""Schedule pruning — the bandwidth-reducing post-pass of Section 5.1.
+
+    "Pruning first removes all moves that deliver a token repeatedly to
+    the same vertex, and then works back from the last move to the first,
+    removing moves that deliver tokens which were never used by the
+    destination vertex."
+
+Pass 1 (*dedup*) keeps only the earliest delivery of each token to each
+vertex and drops deliveries of tokens the vertex started with.  This never
+changes any possession set, so validity and success are preserved exactly.
+
+Pass 2 (*backward sweep*) walks timesteps from last to first and removes a
+delivery of token ``t`` to vertex ``v`` when ``v`` neither wants ``t`` nor
+forwards ``t`` in any *retained* later timestep.  Because removability at
+timestep ``i`` depends only on retained moves at timesteps ``> i`` (a
+vertex can only send what it possessed at the start of the step), a single
+backward pass removes entire useless relay chains.
+
+Pruning never changes the makespan: timesteps are kept in place, possibly
+empty.  Use :func:`drop_empty_tail` afterwards if trailing empty steps
+should be trimmed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.problem import Problem
+from repro.core.schedule import Schedule, Timestep
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+
+__all__ = ["PruneStats", "prune_schedule", "drop_empty_tail"]
+
+
+@dataclass(frozen=True)
+class PruneStats:
+    """How much each pruning pass removed."""
+
+    original_bandwidth: int
+    after_dedup: int
+    after_backward: int
+
+    @property
+    def removed_by_dedup(self) -> int:
+        return self.original_bandwidth - self.after_dedup
+
+    @property
+    def removed_by_backward(self) -> int:
+        return self.after_dedup - self.after_backward
+
+    @property
+    def total_removed(self) -> int:
+        return self.original_bandwidth - self.after_backward
+
+
+def _dedup_pass(problem: Problem, schedule: Schedule) -> List[Dict[Tuple[int, int], TokenSet]]:
+    """Keep only the first delivery of each token to each vertex.
+
+    Within one timestep, parallel deliveries of the same token to the same
+    vertex over different arcs are reduced to one (lowest source id wins,
+    for determinism).
+    """
+    delivered: List[TokenSet] = list(problem.have)
+    new_steps: List[Dict[Tuple[int, int], TokenSet]] = []
+    for step in schedule.steps:
+        kept: Dict[Tuple[int, int], TokenSet] = {}
+        arriving_this_step: List[TokenSet] = [EMPTY_TOKENSET] * problem.num_vertices
+        for (src, dst), tokens in sorted(step.sends.items()):
+            useful = tokens - delivered[dst] - arriving_this_step[dst]
+            if useful:
+                kept[(src, dst)] = useful
+                arriving_this_step[dst] = arriving_this_step[dst] | useful
+        for v in range(problem.num_vertices):
+            if arriving_this_step[v]:
+                delivered[v] = delivered[v] | arriving_this_step[v]
+        new_steps.append(kept)
+    return new_steps
+
+
+def _backward_pass(
+    problem: Problem, steps: List[Dict[Tuple[int, int], TokenSet]]
+) -> List[Dict[Tuple[int, int], TokenSet]]:
+    """Remove deliveries whose token the destination never uses.
+
+    ``future_sends[v]`` accumulates the tokens vertex ``v`` sends in
+    retained timesteps strictly after the one being examined.
+    """
+    future_sends: List[TokenSet] = [EMPTY_TOKENSET] * problem.num_vertices
+    pruned: List[Dict[Tuple[int, int], TokenSet]] = []
+    for step in reversed(steps):
+        kept: Dict[Tuple[int, int], TokenSet] = {}
+        for (src, dst), tokens in step.items():
+            used = tokens & (problem.want[dst] | future_sends[dst])
+            if used:
+                kept[(src, dst)] = used
+        for (src, _dst), tokens in kept.items():
+            future_sends[src] = future_sends[src] | tokens
+        pruned.append(kept)
+    pruned.reverse()
+    return pruned
+
+
+def prune_schedule(problem: Problem, schedule: Schedule) -> Tuple[Schedule, PruneStats]:
+    """Apply both pruning passes; return the pruned schedule and stats.
+
+    The input schedule must be valid for ``problem``; the output is valid,
+    has the same makespan, never more bandwidth, and is successful iff the
+    input was.
+    """
+    deduped = _dedup_pass(problem, schedule)
+    after_dedup_bw = sum(
+        len(tokens) for step in deduped for tokens in step.values()
+    )
+    swept = _backward_pass(problem, deduped)
+    pruned = Schedule([Timestep(step) for step in swept])
+    stats = PruneStats(
+        original_bandwidth=schedule.bandwidth,
+        after_dedup=after_dedup_bw,
+        after_backward=pruned.bandwidth,
+    )
+    return pruned, stats
+
+
+def drop_empty_tail(schedule: Schedule) -> Schedule:
+    """Trim trailing timesteps that carry no moves.
+
+    Pruning keeps empty steps in place so the makespan is comparable with
+    the unpruned run; call this when the shortest equivalent schedule is
+    wanted instead.
+    """
+    steps = list(schedule.steps)
+    while steps and not steps[-1]:
+        steps.pop()
+    return Schedule(steps)

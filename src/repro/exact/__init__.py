@@ -1,0 +1,63 @@
+"""Exact solvers for small OCD instances.
+
+Three independent oracles, cross-checked in the test suite:
+
+* the Section 3.4 time-indexed integer program (HiGHS via scipy) for
+  minimum bandwidth at a makespan horizon, optimal makespans, and the
+  hybrid min-bandwidth-among-fastest objective;
+* a branch-and-bound search for optimal makespans (DFOCD / FOCD);
+* Steiner-arborescence solvers for the time-unconstrained minimum
+  bandwidth (EOCD) and its serial schedule.
+"""
+
+from repro.exact.branch_and_bound import (
+    SearchBudget,
+    SearchExhausted,
+    decide_dfocd,
+    solve_focd_bnb,
+)
+from repro.exact.ilp import (
+    IlpSolution,
+    min_makespan_ilp,
+    solve_eocd_ilp,
+    solve_hybrid_ilp,
+)
+from repro.exact.pareto import (
+    ParetoPoint,
+    cheapest_within_factor,
+    pareto_frontier,
+)
+from repro.exact.relaxation import (
+    fractional_bandwidth_bound,
+    fractional_makespan_bound,
+)
+from repro.exact.steiner import (
+    SteinerResult,
+    eocd_serial_schedule,
+    min_bandwidth_approx,
+    min_bandwidth_exact,
+    steiner_cost_exact,
+    steiner_tree_approx,
+)
+
+__all__ = [
+    "IlpSolution",
+    "ParetoPoint",
+    "SearchBudget",
+    "SearchExhausted",
+    "SteinerResult",
+    "cheapest_within_factor",
+    "decide_dfocd",
+    "pareto_frontier",
+    "eocd_serial_schedule",
+    "fractional_bandwidth_bound",
+    "fractional_makespan_bound",
+    "min_bandwidth_approx",
+    "min_bandwidth_exact",
+    "min_makespan_ilp",
+    "solve_eocd_ilp",
+    "solve_focd_bnb",
+    "solve_hybrid_ilp",
+    "steiner_cost_exact",
+    "steiner_tree_approx",
+]

@@ -1,0 +1,61 @@
+"""Drivers that regenerate every figure of the paper's evaluation.
+
+Each ``figN.run(scale)`` returns a :class:`FigureResult` whose rows are
+the figure's series; ``ALL_EXPERIMENTS`` maps experiment ids to drivers
+for the CLI and the benchmark harness.  ``locd`` covers the Theorem 4
+measurements (not a numbered figure).
+"""
+
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    ext_coding,
+    ext_dynamic,
+    fig1,
+    gap,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    locd_exp,
+    pareto_exp,
+)
+from repro.experiments.config import PAPER, QUICK, Scale, default_scale
+from repro.experiments.report import FigureResult, format_table
+from repro.experiments.runner import (
+    SeriesPoint,
+    TrialRecord,
+    aggregate,
+    run_configuration,
+)
+
+ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], FigureResult]] = {
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "locd": locd_exp.run,
+    "ext_dynamic": ext_dynamic.run,
+    "ext_coding": ext_coding.run,
+    "gap": gap.run,
+    "pareto": pareto_exp.run,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "FigureResult",
+    "PAPER",
+    "QUICK",
+    "Scale",
+    "SeriesPoint",
+    "TrialRecord",
+    "aggregate",
+    "default_scale",
+    "format_table",
+    "run_configuration",
+]

@@ -1,0 +1,98 @@
+"""Extension experiment — distribution under changing network conditions.
+
+Sweeps link uptime (periodic outages) and cross-traffic fluctuation
+depth on the Figure 2 workload, reporting the online heuristics'
+slowdown relative to the static network; and on small trap instances
+compares the online adaptive runs against the clairvoyant oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.problem import Problem
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.report import FigureResult
+from repro.extensions.dynamic import (
+    CapacitySchedule,
+    constant_conditions,
+    oracle_makespan,
+    periodic_outages,
+    random_fluctuations,
+    run_dynamic,
+)
+from repro.heuristics import make_heuristic
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+__all__ = ["run"]
+
+_HEURISTICS = ("random", "local", "global")
+
+
+def run(scale: Optional[Scale] = None) -> FigureResult:
+    scale = scale or default_scale()
+    n = max(20, scale.medium_n // 2)
+    tokens = max(10, scale.file_tokens // 2)
+    trials = scale.trials
+    result = FigureResult(
+        figure="ext_dynamic",
+        title=(
+            f"slowdown under outages and fluctuations "
+            f"(n={n}, m={tokens}, {scale.name} scale)"
+        ),
+    )
+    conditions_grid = [
+        ("static", lambda p, t: constant_conditions(p)),
+        ("uptime 3/4", lambda p, t: periodic_outages(p, 4, 1, seed=t)),
+        ("uptime 1/2", lambda p, t: periodic_outages(p, 2, 1, seed=t)),
+        ("cross-traffic 50-100%", lambda p, t: random_fluctuations(p, seed=t, low=0.5)),
+        ("cross-traffic 20-100%", lambda p, t: random_fluctuations(p, seed=t, low=0.2)),
+    ]
+    static_makespans = {}
+    for label, build in conditions_grid:
+        for name in _HEURISTICS:
+            makespans = []
+            for trial in range(trials):
+                rng = random.Random(scale.base_seed + trial)
+                problem = single_file(random_graph(n, rng), file_tokens=tokens)
+                conditions = build(problem, trial)
+                run_result = run_dynamic(
+                    conditions, make_heuristic(name), seed=trial
+                )
+                assert run_result.success, (label, name)
+                makespans.append(run_result.makespan)
+            mean = sum(makespans) / len(makespans)
+            if label == "static":
+                static_makespans[name] = mean
+            result.rows.append(
+                {
+                    "conditions": label,
+                    "heuristic": name,
+                    "moves": round(mean, 2),
+                    "slowdown": round(mean / static_makespans[name], 2),
+                    "trials": trials,
+                }
+            )
+
+    # Clairvoyance gap on the future-outage trap.
+    trap = Problem.build(
+        4,
+        1,
+        [(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)],
+        {0: [0]},
+        {3: [0]},
+    )
+
+    def trap_caps(step, arc):
+        return 0 if (arc.src, arc.dst) == (1, 3) and step >= 1 else arc.capacity
+
+    conditions = CapacitySchedule(trap, trap_caps, name="trap")
+    oracle = oracle_makespan(conditions, 8)
+    online = run_dynamic(conditions, make_heuristic("bandwidth"), seed=0)
+    result.add_note(
+        f"future-outage trap: oracle {oracle} rounds vs online adaptive "
+        f"{online.makespan} rounds — clairvoyance routes around the outage"
+    )
+    return result

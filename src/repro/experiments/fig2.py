@@ -1,0 +1,48 @@
+"""Figure 2 — moves and bandwidth vs graph size, random graphs.
+
+Single source distributing one file to all vertices over G(n, 2 ln n/n)
+graphs with capacities uniform in [3, 15].  The paper's findings, which
+the shape assertions in the benchmarks check:
+
+* moves (makespan) do not correlate with graph size;
+* bandwidth grows roughly linearly with the vertex count;
+* round-robin is much slower than the peer-aware heuristics;
+* random stays within a constant factor of the smarter heuristics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import aggregate, run_configuration
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+__all__ = ["run"]
+
+
+def run(scale: Optional[Scale] = None) -> FigureResult:
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure="fig2",
+        title=(
+            f"moves/bandwidth vs graph size, random graphs "
+            f"(m={scale.file_tokens}, trials={scale.trials}, {scale.name} scale)"
+        ),
+    )
+    for i, n in enumerate(scale.graph_sizes):
+
+        def factory(rng: random.Random, n: int = n):
+            topo = random_graph(n, rng)
+            return single_file(topo, file_tokens=scale.file_tokens)
+
+        records = run_configuration(
+            factory, trials=scale.trials, base_seed=scale.base_seed + i * 1000
+        )
+        for point in aggregate(float(n), records):
+            result.rows.append(point.as_row())
+    result.add_note("x is the vertex count n; edge probability is 2 ln n / n")
+    return result

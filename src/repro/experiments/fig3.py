@@ -1,0 +1,48 @@
+"""Figure 3 — moves and bandwidth vs graph size, transit-stub graphs.
+
+The Figure 2 experiment on GT-ITM-style transit-stub topologies.  The
+paper reports the same qualitative behaviour as on random graphs (and
+afterwards presents random graphs only, "since as before it is
+representative of both") — our EXPERIMENTS.md records the same.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import aggregate, run_configuration
+from repro.topology import params_for_size, transit_stub_graph
+from repro.workloads import single_file
+
+__all__ = ["run"]
+
+
+def run(scale: Optional[Scale] = None) -> FigureResult:
+    scale = scale or default_scale()
+    result = FigureResult(
+        figure="fig3",
+        title=(
+            f"moves/bandwidth vs graph size, transit-stub graphs "
+            f"(m={scale.file_tokens}, trials={scale.trials}, {scale.name} scale)"
+        ),
+    )
+    for i, n in enumerate(scale.graph_sizes):
+        params = params_for_size(max(n, 8))
+
+        def factory(rng: random.Random, params=params):
+            topo = transit_stub_graph(params, rng)
+            return single_file(topo, file_tokens=scale.file_tokens)
+
+        records = run_configuration(
+            factory, trials=scale.trials, base_seed=scale.base_seed + i * 1000
+        )
+        actual_n = params.total_vertices
+        for point in aggregate(float(actual_n), records):
+            result.rows.append(point.as_row())
+    result.add_note(
+        "x is the realized transit-stub vertex count closest to each target size"
+    )
+    return result

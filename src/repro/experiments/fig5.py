@@ -1,0 +1,58 @@
+"""Figure 5 — moves and bandwidth vs number of files (single sender).
+
+512 tokens at one source; the x-axis repeatedly halves the file (and
+partitions the receivers), from one 512-token file wanted by everyone to
+128 four-token files each wanted by one or two vertices.  The total
+token mass leaving the source is constant across the sweep.  Findings:
+
+* after an initial drop (the source bottleneck relaxes), the flooding
+  heuristics level off: they send everything everywhere regardless of
+  the subdivision;
+* only the bandwidth heuristic improves as demand becomes more
+  constrained, tracking the lower bound and the pruned flooding numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.experiments.config import Scale, default_scale
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import aggregate, run_configuration
+from repro.topology import random_graph
+from repro.workloads import file_subdivision
+
+__all__ = ["run"]
+
+
+def run(scale: Optional[Scale] = None, multi_sender: bool = False) -> FigureResult:
+    scale = scale or default_scale()
+    n = scale.medium_n
+    kind = "multi-sender" if multi_sender else "single-sender"
+    result = FigureResult(
+        figure="fig6" if multi_sender else "fig5",
+        title=(
+            f"moves/bandwidth vs number of files, {kind} "
+            f"(n={n}, tokens={scale.subdivision_tokens}, {scale.name} scale)"
+        ),
+    )
+    for i, num_files in enumerate(scale.file_counts):
+
+        def factory(rng: random.Random, num_files: int = num_files):
+            topo = random_graph(n, rng)
+            return file_subdivision(
+                topo,
+                num_files,
+                rng=rng,
+                total_tokens=scale.subdivision_tokens,
+                multi_sender=multi_sender,
+            )
+
+        records = run_configuration(
+            factory, trials=scale.trials, base_seed=scale.base_seed + i * 1000
+        )
+        for point in aggregate(float(num_files), records):
+            result.rows.append(point.as_row())
+    result.add_note("x is the number of files the 512-token mass is split into")
+    return result

@@ -1,0 +1,21 @@
+"""Figure 6 — moves and bandwidth vs number of files, random senders.
+
+The Figure 5 sweep with each file placed at a random vertex that does
+not want it.  The paper observes the same trends as Figure 5, showing
+the heuristics behave alike whether files start at a single place or at
+many.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import Scale
+from repro.experiments.fig5 import run as _run_fig5
+from repro.experiments.report import FigureResult
+
+__all__ = ["run"]
+
+
+def run(scale: Optional[Scale] = None) -> FigureResult:
+    return _run_fig5(scale, multi_sender=True)

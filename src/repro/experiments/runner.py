@@ -1,0 +1,138 @@
+"""Shared sweep machinery for the figure drivers.
+
+One *configuration* is a point on a figure's x-axis (a graph size, a
+threshold, a file count).  For each configuration the runner builds the
+problem per trial, runs every heuristic, prunes its schedule, evaluates
+the paper's lower bounds, and aggregates over trials.  The rows it
+produces are the figures' series.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.bounds import remaining_bandwidth, remaining_timesteps
+from repro.core.problem import Problem
+from repro.core.pruning import prune_schedule
+from repro.heuristics import HEURISTIC_FACTORIES
+from repro.sim.engine import Engine
+
+__all__ = ["TrialRecord", "SeriesPoint", "run_configuration", "aggregate"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One heuristic on one problem instance."""
+
+    heuristic: str
+    trial: int
+    makespan: int
+    bandwidth: int
+    pruned_bandwidth: int
+    success: bool
+    bound_bandwidth: int
+    bound_timesteps: int
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One aggregated (x, heuristic) point of a figure."""
+
+    x: float
+    heuristic: str
+    moves: float
+    moves_stdev: float
+    bandwidth: float
+    pruned_bandwidth: float
+    bound_bandwidth: float
+    bound_timesteps: float
+    trials: int
+    all_successful: bool
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "x": self.x,
+            "heuristic": self.heuristic,
+            "moves": round(self.moves, 2),
+            "moves_stdev": round(self.moves_stdev, 2),
+            "bandwidth": round(self.bandwidth, 1),
+            "pruned_bandwidth": round(self.pruned_bandwidth, 1),
+            "bound_bandwidth": round(self.bound_bandwidth, 1),
+            "bound_timesteps": round(self.bound_timesteps, 2),
+            "trials": self.trials,
+            "ok": self.all_successful,
+        }
+
+
+def run_configuration(
+    problem_factory: Callable[[random.Random], Problem],
+    trials: int,
+    base_seed: int,
+    heuristics: Optional[Sequence[str]] = None,
+    max_steps: Optional[int] = None,
+) -> List[TrialRecord]:
+    """Run every heuristic on ``trials`` fresh instances.
+
+    ``problem_factory`` draws a problem from an RNG, so each trial sees a
+    fresh topology/score draw (the paper generates several instances per
+    size and repeats heuristics per instance; we fold both into trials).
+    """
+    if heuristics is None:
+        heuristics = list(HEURISTIC_FACTORIES)
+    records: List[TrialRecord] = []
+    for trial in range(trials):
+        instance_rng = random.Random(base_seed + trial)
+        problem = problem_factory(instance_rng)
+        bound_bw = remaining_bandwidth(problem)
+        bound_ts = remaining_timesteps(problem)
+        for name in heuristics:
+            heuristic = HEURISTIC_FACTORIES[name]()
+            engine = Engine(
+                problem,
+                heuristic,
+                rng=random.Random(base_seed * 31 + trial * 7 + hash(name) % 1000),
+                max_steps=max_steps,
+            )
+            result = engine.run()
+            pruned, _stats = prune_schedule(problem, result.schedule)
+            records.append(
+                TrialRecord(
+                    heuristic=name,
+                    trial=trial,
+                    makespan=result.makespan,
+                    bandwidth=result.bandwidth,
+                    pruned_bandwidth=pruned.bandwidth,
+                    success=result.success,
+                    bound_bandwidth=bound_bw,
+                    bound_timesteps=bound_ts,
+                )
+            )
+    return records
+
+
+def aggregate(x: float, records: Iterable[TrialRecord]) -> List[SeriesPoint]:
+    """Collapse trial records into per-heuristic series points."""
+    by_heuristic: Dict[str, List[TrialRecord]] = {}
+    for record in records:
+        by_heuristic.setdefault(record.heuristic, []).append(record)
+    points = []
+    for name, recs in by_heuristic.items():
+        moves = [r.makespan for r in recs]
+        points.append(
+            SeriesPoint(
+                x=x,
+                heuristic=name,
+                moves=statistics.fmean(moves),
+                moves_stdev=statistics.pstdev(moves) if len(moves) > 1 else 0.0,
+                bandwidth=statistics.fmean(r.bandwidth for r in recs),
+                pruned_bandwidth=statistics.fmean(r.pruned_bandwidth for r in recs),
+                bound_bandwidth=statistics.fmean(r.bound_bandwidth for r in recs),
+                bound_timesteps=statistics.fmean(r.bound_timesteps for r in recs),
+                trials=len(recs),
+                all_successful=all(r.success for r in recs),
+            )
+        )
+    return points

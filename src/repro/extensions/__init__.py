@@ -1,0 +1,46 @@
+"""Implementations of the Section 6 open problems.
+
+* :mod:`repro.extensions.dynamic` — changing network conditions
+  (per-turn capacities, outages, cross-traffic) with an online engine
+  and a clairvoyant network oracle, plus node arrivals/departures as the
+  zero-capacity special case the paper describes.
+* :mod:`repro.extensions.coding` — threshold (MDS-style) coding: files
+  reconstructible from any k of n coded tokens, via a pluggable success
+  predicate on the standard engine.
+"""
+
+from repro.extensions.coding import (
+    CodedFile,
+    CodedInstance,
+    coded_completion_step,
+    make_coded_single_file,
+    run_coded,
+    run_coded_dynamic,
+)
+from repro.extensions.dynamic import (
+    CapacitySchedule,
+    DynamicEngine,
+    churn_schedule,
+    constant_conditions,
+    oracle_makespan,
+    periodic_outages,
+    random_fluctuations,
+    run_dynamic,
+)
+
+__all__ = [
+    "CapacitySchedule",
+    "CodedFile",
+    "CodedInstance",
+    "DynamicEngine",
+    "churn_schedule",
+    "coded_completion_step",
+    "constant_conditions",
+    "make_coded_single_file",
+    "oracle_makespan",
+    "periodic_outages",
+    "random_fluctuations",
+    "run_coded",
+    "run_coded_dynamic",
+    "run_dynamic",
+]

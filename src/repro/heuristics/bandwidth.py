@@ -1,0 +1,143 @@
+"""The Bandwidth heuristic (Section 5.1).
+
+    "This bandwidth heuristic is designed on the principle that each
+    vertex shall obtain from its peers in its next turn only tokens that
+    it will eventually use.  We then determine whether a vertex will use
+    the token by i) if it needs the token, or ii) if it is the closest
+    one-hop-knowledge vertex to a node that needs it.  A one-hop-knowledge
+    vertex is one which for a given token *could* obtain the token in a
+    single turn given the opportunity."
+
+Unlike the flooding heuristics, nothing moves toward vertices that will
+never use it, so bandwidth tracks the actual demand.  The price is speed:
+tokens advance along a single relay frontier instead of flooding down
+every link, which is why the paper finds it slightly slower.
+
+This is an *online* heuristic "albeit with global knowledge": the pull
+decisions need possession state and graph distances for the whole graph.
+
+Mechanics per timestep, per token ``t`` still needed somewhere:
+
+1. Every needer with an in-neighbor already holding ``t`` pulls it
+   directly (case i).
+2. For needers that cannot get ``t`` this turn, the one-hop-knowledge set
+   ``U(t)`` (vertices lacking ``t`` whose in-neighborhood holds it) is
+   computed, and a multi-source BFS from ``U(t)`` labels every vertex with
+   its closest one-hop vertex; the label of each far needer becomes a
+   relay and pulls ``t`` (case ii).
+3. Each pulling vertex assigns its pulls, rarest token first, to
+   in-neighbors that hold them, subject to per-arc capacity budgets.
+   Requests that do not fit are retried on later turns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.heuristics.base import Heuristic
+from repro.sim.engine import Proposal, StepContext
+
+__all__ = ["BandwidthHeuristic"]
+
+
+class BandwidthHeuristic(Heuristic):
+    """Demand-driven cautious pulling; only eventually-used tokens move."""
+
+    name = "bandwidth"
+
+    def _closest_one_hop_labels(
+        self, ctx: StepContext, one_hop: List[int]
+    ) -> List[int]:
+        """Multi-source BFS labels: for every vertex, the id of the
+        nearest one-hop-knowledge vertex (−1 when unreachable).
+
+        Sources are seeded in increasing id order, so ties break toward
+        the smallest vertex id deterministically.
+        """
+        problem = ctx.problem
+        label = [-1] * problem.num_vertices
+        queue = deque()
+        for u in one_hop:
+            label[u] = u
+            queue.append(u)
+        while queue:
+            v = queue.popleft()
+            for arc in problem.out_arcs(v):
+                if label[arc.dst] == -1:
+                    label[arc.dst] = label[v]
+                    queue.append(arc.dst)
+        return label
+
+    def propose(self, ctx: StepContext) -> Proposal:
+        problem = ctx.problem
+        pulls: Dict[int, List[int]] = {}  # vertex -> tokens it pulls this turn
+
+        def add_pull(v: int, token: int) -> None:
+            pulls.setdefault(v, []).append(token)
+
+        # Which tokens each vertex could obtain in one turn: union of
+        # in-neighbor possession.
+        one_hop_supply: List[TokenSet] = []
+        for v in range(problem.num_vertices):
+            supply = EMPTY_TOKENSET
+            for arc in problem.in_arcs(v):
+                supply = supply | ctx.possession[arc.src]
+            one_hop_supply.append(supply)
+
+        for token in range(problem.num_tokens):
+            needers = [
+                v
+                for v in range(problem.num_vertices)
+                if token in problem.want[v] and token not in ctx.possession[v]
+            ]
+            if not needers:
+                continue
+            far_needers = []
+            for v in needers:
+                if token in one_hop_supply[v]:
+                    add_pull(v, token)  # case (i): the needer itself pulls
+                else:
+                    far_needers.append(v)
+            if not far_needers:
+                continue
+            one_hop = [
+                u
+                for u in range(problem.num_vertices)
+                if token not in ctx.possession[u] and token in one_hop_supply[u]
+            ]
+            if not one_hop:
+                continue  # token cannot advance this turn
+            label = self._closest_one_hop_labels(ctx, one_hop)
+            relays: Set[int] = set()
+            for x in far_needers:
+                if label[x] != -1:
+                    relays.add(label[x])
+            for u in relays:
+                add_pull(u, token)  # case (ii): closest one-hop relay pulls
+
+        # Assign pulls to supplying in-arcs, rarest token first.
+        sends: Dict[Tuple[int, int], TokenSet] = {}
+        for v, tokens in pulls.items():
+            ctx.rng.shuffle(tokens)
+            tokens.sort(key=lambda t: ctx.holder_counts[t])
+            in_arcs = problem.in_arcs(v)
+            budget = {(arc.src, arc.dst): arc.capacity for arc in in_arcs}
+            for token in tokens:
+                candidates = [
+                    arc
+                    for arc in in_arcs
+                    if budget[(arc.src, arc.dst)] > 0
+                    and token in ctx.possession[arc.src]
+                ]
+                if not candidates:
+                    continue
+                best = max(
+                    candidates,
+                    key=lambda arc: (budget[(arc.src, arc.dst)], ctx.rng.random()),
+                )
+                key = (best.src, best.dst)
+                budget[key] -= 1
+                sends[key] = sends.get(key, EMPTY_TOKENSET).add(token)
+        return sends

@@ -1,0 +1,69 @@
+"""Shared infrastructure for the Section 5.1 heuristics.
+
+Every heuristic is an object with a ``name``, a per-run ``reset``, and a
+``propose`` that maps a :class:`repro.sim.StepContext` to the sends of one
+timestep.  Heuristics are stateless across runs (``reset`` rebuilds any
+per-run memory, e.g. Round-Robin's queue positions) so one instance can be
+reused across trials.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.core.problem import Problem
+from repro.core.tokenset import TokenSet
+from repro.sim.engine import Proposal, StepContext
+
+__all__ = ["Heuristic", "sample_tokens", "rarity_order"]
+
+
+class Heuristic:
+    """Base class: stores the problem and RNG at reset time.
+
+    Subclasses override :meth:`propose`, and :meth:`on_reset` for any
+    per-run precomputation.
+    """
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.problem: Problem | None = None
+        self.rng: random.Random | None = None
+
+    def reset(self, problem: Problem, rng: random.Random) -> None:
+        self.problem = problem
+        self.rng = rng
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        """Hook for subclass per-run initialization."""
+
+    def propose(self, ctx: StepContext) -> Proposal:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def sample_tokens(tokens: TokenSet, count: int, rng: random.Random) -> TokenSet:
+    """A uniform random subset of ``count`` members (all if fewer)."""
+    members = list(tokens)
+    if len(members) <= count:
+        return tokens
+    return TokenSet.from_iterable(rng.sample(members, count))
+
+
+def rarity_order(
+    tokens: TokenSet, holder_counts, rng: random.Random
+) -> List[int]:
+    """Members of ``tokens`` ordered rarest first, random tie-break.
+
+    "Rarest random" (the Local heuristic's core): diversify what each
+    vertex holds by preferring the tokens fewest vertices possess.
+    """
+    members = list(tokens)
+    rng.shuffle(members)
+    members.sort(key=lambda t: holder_counts[t])
+    return members

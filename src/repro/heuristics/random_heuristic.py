@@ -1,0 +1,38 @@
+"""The Random heuristic (Section 5.1).
+
+    "In this heuristic we assume that peers have current knowledge about
+    the tokens known by each of their peers at the beginning of the turn.
+    Each vertex then independently chooses at random which tokens to send
+    over the edge."
+
+For every arc, the sender looks at the tokens the peer still lacks
+(current one-hop knowledge) and fills the arc capacity with a uniformly
+random subset of them.  There is no coordination, so two senders may push
+the same token to the same vertex in the same turn — the duplication cost
+the smarter heuristics try to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.tokenset import TokenSet
+from repro.heuristics.base import Heuristic, sample_tokens
+from repro.sim.engine import Proposal, StepContext
+
+__all__ = ["RandomHeuristic"]
+
+
+class RandomHeuristic(Heuristic):
+    """Uncoordinated random flooding of peer-useful tokens."""
+
+    name = "random"
+
+    def propose(self, ctx: StepContext) -> Proposal:
+        sends: Dict[Tuple[int, int], TokenSet] = {}
+        for arc in ctx.problem.arcs:
+            useful = ctx.useful(arc.src, arc.dst)
+            if not useful:
+                continue
+            sends[(arc.src, arc.dst)] = sample_tokens(useful, arc.capacity, ctx.rng)
+        return sends

@@ -1,0 +1,67 @@
+"""The Round-Robin heuristic (Section 5.1).
+
+    "The round-robin strategy simply sends the circular queue of tokens
+    over each link (skipping tokens it does not have).  This is the
+    simplest of the heuristics, and can easily be computed locally as no
+    information other than the set of tokens kept locally and the last
+    token sent to each peer [is needed]."
+
+Each sender keeps an independent cursor per outgoing arc into the circular
+queue of all token ids ``0..m-1``.  Every timestep it fills the arc's
+capacity with the next tokens it possesses, advancing the cursor past
+tokens it lacks.  It never consults the peer's state, so it resends tokens
+the peer already holds and duplicates what other peers send — exactly the
+weaknesses the paper attributes to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.tokenset import TokenSet
+from repro.heuristics.base import Heuristic
+from repro.sim.engine import Proposal, StepContext
+
+__all__ = ["RoundRobinHeuristic"]
+
+
+class RoundRobinHeuristic(Heuristic):
+    """Blind circular-queue flooding; uses only the sender's own tokens."""
+
+    name = "round_robin"
+
+    def on_reset(self) -> None:
+        # One cursor per directed arc, all starting at token 0.
+        self._cursor: Dict[Tuple[int, int], int] = {
+            (arc.src, arc.dst): 0 for arc in self.problem.arcs
+        }
+
+    def propose(self, ctx: StepContext) -> Proposal:
+        problem = ctx.problem
+        m = problem.num_tokens
+        sends: Dict[Tuple[int, int], TokenSet] = {}
+        if m == 0:
+            return sends
+        for arc in problem.arcs:
+            owned = ctx.possession[arc.src]
+            if not owned:
+                continue
+            key = (arc.src, arc.dst)
+            cursor = self._cursor[key]
+            chosen = 0
+            picked = 0
+            # One full lap at most: skip tokens the sender lacks.
+            for offset in range(m):
+                token = (cursor + offset) % m
+                if token in owned:
+                    chosen |= 1 << token
+                    picked += 1
+                    if picked == arc.capacity:
+                        cursor = (token + 1) % m
+                        break
+            else:
+                cursor = (cursor + m) % m
+            self._cursor[key] = cursor
+            if chosen:
+                sends[key] = TokenSet(chosen)
+        return sends

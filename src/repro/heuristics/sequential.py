@@ -1,0 +1,63 @@
+"""A sequential (in-order) variant of the Local heuristic.
+
+Streaming clients fetch pieces in playback order rather than rarest
+first.  This heuristic is the Local heuristic with the priority flipped:
+receivers still subdivide requests across suppliers (no duplicate pulls
+of one token per turn), but ask for the **lowest-indexed** missing
+tokens first instead of the rarest.
+
+It exists to quantify the classic swarm/streaming tradeoff against
+:class:`repro.heuristics.LocalRarestHeuristic`: in-order fetching
+minimizes playback startup delay (see
+:mod:`repro.analysis.streaming`) while rarest-first minimizes the
+overall makespan by keeping the token population diverse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.heuristics.base import Heuristic
+from repro.sim.engine import Proposal, StepContext
+
+__all__ = ["SequentialHeuristic"]
+
+
+class SequentialHeuristic(Heuristic):
+    """In-order flooding with per-peer request subdivision."""
+
+    name = "sequential"
+
+    def propose(self, ctx: StepContext) -> Proposal:
+        problem = ctx.problem
+        rng = ctx.rng
+        sends: Dict[Tuple[int, int], TokenSet] = {}
+        for v in range(problem.num_vertices):
+            in_arcs = problem.in_arcs(v)
+            if not in_arcs:
+                continue
+            available = EMPTY_TOKENSET
+            for arc in in_arcs:
+                available = available | ctx.possession[arc.src]
+            lacking = available - ctx.possession[v]
+            if not lacking:
+                continue
+            budget = {(arc.src, arc.dst): arc.capacity for arc in in_arcs}
+            for token in lacking:  # TokenSet iterates in increasing order
+                candidates = [
+                    arc
+                    for arc in in_arcs
+                    if budget[(arc.src, arc.dst)] > 0
+                    and token in ctx.possession[arc.src]
+                ]
+                if not candidates:
+                    continue
+                best = max(
+                    candidates,
+                    key=lambda arc: (budget[(arc.src, arc.dst)], rng.random()),
+                )
+                key = (best.src, best.dst)
+                budget[key] -= 1
+                sends[key] = sends.get(key, EMPTY_TOKENSET).add(token)
+        return sends

@@ -1,0 +1,150 @@
+"""Locality-enforcing simulation loop for LOCD algorithms.
+
+Unlike :class:`repro.sim.Engine` — which exposes the global state and
+trusts heuristics to read only what they should — this runner hands each
+vertex *only its own* :class:`Knowledge` when asking for its sends, so a
+LOCD algorithm is mechanically incapable of cheating.  The loop per
+timestep ``i``:
+
+1. every vertex ``v`` computes its sends from ``k_i(v)`` (and optionally
+   randomness, per Section 4.1);
+2. sends are validated against the true state and applied;
+3. ``k_{i+1}(v)`` merges the step-``i`` knowledge of ``v``'s gossip
+   neighbors (both arc directions) into ``k_i(v)``, then records what
+   ``v`` itself just received.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.core.problem import Problem
+from repro.core.schedule import Schedule, Timestep
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.locd.knowledge import Knowledge, initial_knowledge
+from repro.sim.engine import HeuristicViolation, RunResult
+
+__all__ = ["LocalAlgorithm", "LocalEngine", "run_local"]
+
+
+class LocalAlgorithm(Protocol):
+    """A per-vertex decision rule using only local knowledge."""
+
+    name: str
+
+    def reset(self, num_vertices: int, rng: random.Random) -> None:
+        """Prepare per-run state.  Only the vertex count is global — it
+        is not secret (a vertex could learn it, and algorithms only use
+        it to size internal tables)."""
+
+    def decide(
+        self, step: int, knowledge: Knowledge, rng: random.Random
+    ) -> Dict[Tuple[int, int], TokenSet]:
+        """Sends out of ``knowledge.owner`` for this timestep, keyed by
+        arc.  Every arc must leave the owner."""
+
+
+class LocalEngine:
+    """Synchronous LOCD simulation with per-vertex knowledge."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        algorithm: LocalAlgorithm,
+        rng: Optional[random.Random] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        self.problem = problem
+        self.algorithm = algorithm
+        self.rng = rng if rng is not None else random.Random(0)
+        if max_steps is None:
+            max_steps = 4 * max(problem.move_bound(), 1) + 4 * problem.num_vertices + 64
+        self.max_steps = max_steps
+
+    def run(self) -> RunResult:
+        problem = self.problem
+        possession: List[TokenSet] = list(problem.have)
+        knowledge: List[Knowledge] = [
+            initial_knowledge(problem, v) for v in range(problem.num_vertices)
+        ]
+        self.algorithm.reset(problem.num_vertices, self.rng)
+        steps: List[Timestep] = []
+        knowledge_cost = 0
+
+        def satisfied() -> bool:
+            return all(
+                problem.want[v] <= possession[v]
+                for v in range(problem.num_vertices)
+            )
+
+        success = satisfied()
+        while not success and len(steps) < self.max_steps:
+            step_index = len(steps)
+            # 1. Decisions from local knowledge only.
+            sends: Dict[Tuple[int, int], TokenSet] = {}
+            for v in range(problem.num_vertices):
+                proposal = self.algorithm.decide(step_index, knowledge[v], self.rng)
+                for (src, dst), tokens in proposal.items():
+                    if not tokens:
+                        continue
+                    if src != v:
+                        raise HeuristicViolation(
+                            f"step {step_index}: vertex {v} proposed a send "
+                            f"out of vertex {src}"
+                        )
+                    if not problem.has_arc(src, dst):
+                        raise HeuristicViolation(
+                            f"step {step_index}: no arc ({src}, {dst})"
+                        )
+                    if len(tokens) > problem.capacity(src, dst):
+                        raise HeuristicViolation(
+                            f"step {step_index}: arc ({src}, {dst}) over capacity"
+                        )
+                    if not tokens <= possession[src]:
+                        raise HeuristicViolation(
+                            f"step {step_index}: vertex {src} sent unpossessed "
+                            f"tokens {sorted(tokens - possession[src])}"
+                        )
+                    sends[(src, dst)] = tokens
+            timestep = Timestep(sends)
+            steps.append(timestep)
+
+            # 2. Apply token movement.
+            arrivals: Dict[int, TokenSet] = {}
+            for (src, dst), tokens in timestep.sends.items():
+                arrivals[dst] = arrivals.get(dst, EMPTY_TOKENSET) | tokens
+            for dst, tokens in arrivals.items():
+                possession[dst] = possession[dst] | tokens
+
+            # 3. Gossip: merge the *previous* knowledge of both-direction
+            # neighbors, then record own arrivals.
+            snapshots = [k.snapshot() for k in knowledge]
+            for v in range(problem.num_vertices):
+                before = knowledge[v].size_facts()
+                for u in problem.neighbors(v):
+                    knowledge[v].merge_from(snapshots[u])
+                knowledge_cost += knowledge[v].size_facts() - before
+                if v in arrivals:
+                    knowledge[v].record_own_possession(arrivals[v])
+
+            success = satisfied()
+        return RunResult(
+            problem=problem,
+            heuristic_name=self.algorithm.name,
+            schedule=Schedule(steps),
+            success=success,
+            knowledge_cost=knowledge_cost,
+        )
+
+
+def run_local(
+    problem: Problem,
+    algorithm: LocalAlgorithm,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> RunResult:
+    """One-call convenience wrapper around :class:`LocalEngine`."""
+    return LocalEngine(
+        problem, algorithm, rng=random.Random(seed), max_steps=max_steps
+    ).run()

@@ -1,0 +1,126 @@
+"""Gossip-stale LOCD versions of the global-knowledge heuristics.
+
+The paper's Bandwidth and Global heuristics (§5.1) assume a current
+global view.  A deployable system only has what gossip delivered, so
+these variants run the *same* decision logic on each vertex's own
+:class:`repro.locd.Knowledge` — a monotone under-approximation of the
+true state, one gossip round stale per hop of distance:
+
+* every vertex reconstructs a view problem from its known arcs,
+  possession, and wants;
+* it runs the simulator heuristic on that view (seeded by the timestep,
+  so vertices with identical views make identical choices);
+* it executes only the sends leaving itself.
+
+Different vertices hold different views, so the implicit coordination
+of the idealized versions frays: duplicate sends reappear and bandwidth
+frugality degrades toward the flooding baseline as staleness grows —
+measurable with ``tests/locd/test_stale.py`` and the paper's own
+"state 'k' turns ago" relaxation in mind.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.core.problem import Problem
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.heuristics.bandwidth import BandwidthHeuristic
+from repro.heuristics.global_greedy import GlobalGreedyHeuristic
+from repro.locd.knowledge import Knowledge
+from repro.sim.engine import StepContext
+
+__all__ = ["StaleViewAlgorithm", "StaleBandwidth", "StaleGreedy", "view_problem"]
+
+
+def view_problem(knowledge: Knowledge) -> Optional[Problem]:
+    """The world as one vertex currently believes it to be.
+
+    Unlike :meth:`Knowledge.as_problem`, this does not require complete
+    topology: it builds a problem from whatever arcs and states are
+    known so far (unknown vertices appear isolated, unknown possession
+    appears empty).  Returns ``None`` only when the knowledge mentions
+    no vertex at all (cannot happen for initialized knowledge).
+    """
+    vertices = knowledge.known_vertices()
+    if not vertices:
+        return None
+    n = max(vertices) + 1
+    num_tokens = 0
+    for tokens in list(knowledge.have.values()) + list(knowledge.want.values()):
+        if tokens:
+            num_tokens = max(num_tokens, tokens.max() + 1)
+    return Problem.build(
+        n,
+        num_tokens,
+        sorted(knowledge.arcs),
+        {v: list(tokens) for v, tokens in knowledge.have.items()},
+        {v: list(tokens) for v, tokens in knowledge.want.items()},
+        name=f"view_of_{knowledge.owner}",
+    )
+
+
+class StaleViewAlgorithm:
+    """Base: run a simulator heuristic on the local knowledge view."""
+
+    #: subclasses set the heuristic factory
+    heuristic_factory = None
+    name = "stale_view"
+
+    def reset(self, num_vertices: int, rng: random.Random) -> None:
+        self._heuristic = type(self).heuristic_factory()
+        self._view_arcs = None
+
+    def decide(
+        self, step: int, knowledge: Knowledge, rng: random.Random
+    ) -> Dict[Tuple[int, int], TokenSet]:
+        view = view_problem(knowledge)
+        if view is None or view.num_tokens == 0:
+            return {}
+        possession = tuple(
+            knowledge.have.get(v, EMPTY_TOKENSET) for v in range(view.num_vertices)
+        )
+        holder_counts = [0] * view.num_tokens
+        for tokens in possession:
+            for t in tokens:
+                holder_counts[t] += 1
+        # Seed by the timestep only: vertices with identical views make
+        # identical (hence coordinated) choices; divergent views diverge.
+        ctx = StepContext(
+            view, step, possession, tuple(holder_counts), random.Random(step)
+        )
+        self._heuristic.reset(view, random.Random(step))
+        proposal = self._heuristic.propose(ctx)
+        owner = knowledge.owner
+        return {
+            (src, dst): tokens
+            for (src, dst), tokens in proposal.items()
+            if src == owner and tokens
+        }
+
+
+class StaleBandwidth(StaleViewAlgorithm):
+    """The Bandwidth heuristic fed by gossip instead of an oracle.
+
+    Early in a run a vertex only knows nearby wants, so it moves tokens
+    conservatively toward the needs it has heard of; as gossip converges
+    it behaves like the idealized version.  Never sends a token its view
+    cannot justify as eventually used.
+    """
+
+    heuristic_factory = BandwidthHeuristic
+    name = "locd_bandwidth"
+
+
+class StaleGreedy(StaleViewAlgorithm):
+    """The Global greedy heuristic coordinated only by shared views.
+
+    Where views agree (same gossip horizon), tie-breaks agree and the
+    diversity coordination survives; where they disagree, duplicate
+    sends slip through — the measurable price of distributing the
+    coordinator.
+    """
+
+    heuristic_factory = GlobalGreedyHeuristic
+    name = "locd_global"

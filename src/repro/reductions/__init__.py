@@ -1,0 +1,36 @@
+"""NP-completeness machinery: the Dominating Set reduction and the
+Theorem 1–3 certificates."""
+
+from repro.reductions.certificates import (
+    cleanup_schedule,
+    decode_schedule,
+    encode_schedule,
+    polynomial_verifier,
+    theorem1_bound,
+    theorem2_bit_bound,
+)
+from repro.reductions.dominating_set import (
+    DominatingSetInstance,
+    brute_force_min_dominating_set,
+    extract_dominating_set,
+    greedy_dominating_set,
+    has_dominating_set_via_focd,
+    is_dominating_set,
+    reduce_to_focd,
+)
+
+__all__ = [
+    "DominatingSetInstance",
+    "brute_force_min_dominating_set",
+    "cleanup_schedule",
+    "decode_schedule",
+    "encode_schedule",
+    "extract_dominating_set",
+    "greedy_dominating_set",
+    "has_dominating_set_via_focd",
+    "is_dominating_set",
+    "polynomial_verifier",
+    "reduce_to_focd",
+    "theorem1_bound",
+    "theorem2_bit_bound",
+]

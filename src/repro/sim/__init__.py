@@ -1,0 +1,24 @@
+"""Synchronous round-based simulation of OCD distribution schedules."""
+
+from repro.sim.engine import (
+    Engine,
+    HeuristicProtocol,
+    HeuristicViolation,
+    RunResult,
+    StallError,
+    StepContext,
+    run_heuristic,
+)
+from repro.sim.render import possession_timeline, schedule_to_text
+
+__all__ = [
+    "Engine",
+    "HeuristicProtocol",
+    "HeuristicViolation",
+    "RunResult",
+    "StallError",
+    "StepContext",
+    "possession_timeline",
+    "run_heuristic",
+    "schedule_to_text",
+]

@@ -1,0 +1,294 @@
+"""Synchronous round-based simulator for OCD heuristics.
+
+The engine owns the ground-truth state of one run: the possession vector
+``p_i`` from Section 3.1.  Each timestep it hands the current state to a
+heuristic as a read-only :class:`StepContext`, receives a proposed set of
+sends, *validates the proposal against the model constraints* (capacity
+and possession — a buggy heuristic raises :class:`HeuristicViolation`
+instead of silently cheating), applies it, and checks for success.
+
+The engine presents a global view of the state.  Heuristics differ in how
+much of that view they are allowed to read — e.g. Round-Robin only reads
+the sender's own tokens while Global reads everything — and the strict
+local-knowledge (LOCD) runner in :mod:`repro.locd` enforces locality
+mechanically by constructing per-vertex knowledge views instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+from repro.core.metrics import ScheduleMetrics, evaluate_schedule
+from repro.core.problem import Problem
+from repro.core.schedule import Schedule, Timestep
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+
+__all__ = [
+    "StepContext",
+    "HeuristicProtocol",
+    "HeuristicViolation",
+    "StallError",
+    "RunResult",
+    "Engine",
+    "run_heuristic",
+]
+
+Proposal = Mapping[Tuple[int, int], TokenSet]
+
+
+class HeuristicViolation(RuntimeError):
+    """A heuristic proposed a send that breaks the model constraints."""
+
+
+class StallError(RuntimeError):
+    """A heuristic stopped making progress while demand remains."""
+
+
+class StepContext:
+    """Read-only snapshot handed to a heuristic at each timestep."""
+
+    __slots__ = ("problem", "step", "possession", "holder_counts", "rng")
+
+    def __init__(
+        self,
+        problem: Problem,
+        step: int,
+        possession: Sequence[TokenSet],
+        holder_counts: Sequence[int],
+        rng: random.Random,
+    ) -> None:
+        self.problem = problem
+        self.step = step
+        self.possession = possession
+        self.holder_counts = holder_counts
+        self.rng = rng
+
+    def useful(self, src: int, dst: int) -> TokenSet:
+        """Tokens ``src`` holds that ``dst`` lacks — the flooding notion
+        of a send that "can increase knowledge"."""
+        return self.possession[src] - self.possession[dst]
+
+    def outstanding(self, v: int) -> TokenSet:
+        """Tokens ``v`` wants but does not yet possess."""
+        return self.problem.want[v] - self.possession[v]
+
+    def total_outstanding(self) -> int:
+        return sum(
+            len(self.outstanding(v)) for v in range(self.problem.num_vertices)
+        )
+
+
+class HeuristicProtocol(Protocol):
+    """What the engine requires of a heuristic."""
+
+    name: str
+
+    def reset(self, problem: Problem, rng: random.Random) -> None:
+        """Prepare per-run state before the first timestep."""
+
+    def propose(self, ctx: StepContext) -> Proposal:
+        """Return the sends for this timestep as ``{(src, dst): tokens}``."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    problem: Problem
+    heuristic_name: str
+    schedule: Schedule
+    success: bool
+    stalled: bool = False
+    bound_trace: List[Tuple[int, int]] = field(default_factory=list)
+    #: Total gossip facts learned over the run (LOCD runs only; 0 for the
+    #: global-view engine).  See Knowledge.size_facts.
+    knowledge_cost: int = 0
+
+    @property
+    def makespan(self) -> int:
+        return self.schedule.makespan
+
+    @property
+    def bandwidth(self) -> int:
+        return self.schedule.bandwidth
+
+    def metrics(self) -> ScheduleMetrics:
+        return evaluate_schedule(self.problem, self.schedule)
+
+
+class Engine:
+    """Drives one heuristic over one problem to completion.
+
+    Parameters
+    ----------
+    problem:
+        The instance to solve.
+    heuristic:
+        Any object satisfying :class:`HeuristicProtocol`.
+    rng:
+        Randomness source for the heuristic; pass a seeded
+        ``random.Random`` for reproducible runs.
+    max_steps:
+        Hard cap on simulated timesteps.  Defaults to a generous multiple
+        of the Theorem 1 move bound ``m(n-1)``.
+    stall_limit:
+        Consecutive timesteps with an *empty* proposal after which the run
+        raises :class:`StallError`.  Independently of this counter, the
+        engine raises immediately when no arc anywhere carries a useful
+        token while demand remains — possession only ever grows, so that
+        state can never change again.  No-gain steps with non-empty
+        proposals (e.g. Round-Robin cycling past tokens the peer already
+        holds) are not stalls and simply count toward ``max_steps``.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        heuristic: HeuristicProtocol,
+        rng: Optional[random.Random] = None,
+        max_steps: Optional[int] = None,
+        stall_limit: int = 8,
+        success_predicate: Optional[
+            Callable[[Sequence[TokenSet]], bool]
+        ] = None,
+    ) -> None:
+        self.problem = problem
+        self.heuristic = heuristic
+        self.rng = rng if rng is not None else random.Random(0)
+        if max_steps is None:
+            max_steps = 4 * max(problem.move_bound(), 1) + 64
+        self.max_steps = max_steps
+        self.stall_limit = stall_limit
+        # The default predicate is the paper's: w(v) ⊆ p_t(v) everywhere.
+        # Extensions (e.g. threshold coding, §6) substitute their own.
+        self.success_predicate = success_predicate
+
+    def run(self) -> RunResult:
+        problem = self.problem
+        possession: List[TokenSet] = list(problem.have)
+        holder_counts = [0] * problem.num_tokens
+        for tokens in possession:
+            for t in tokens:
+                holder_counts[t] += 1
+
+        self.heuristic.reset(problem, self.rng)
+        steps: List[Timestep] = []
+        stalled_for = 0
+
+        def satisfied() -> bool:
+            if self.success_predicate is not None:
+                return self.success_predicate(possession)
+            return all(
+                problem.want[v] <= possession[v]
+                for v in range(problem.num_vertices)
+            )
+
+        success = satisfied()
+        while not success and len(steps) < self.max_steps:
+            ctx = StepContext(
+                problem, len(steps), tuple(possession), tuple(holder_counts), self.rng
+            )
+            proposal = self.heuristic.propose(ctx)
+            timestep = self._validated_timestep(proposal, possession, len(steps))
+            progressed = self._apply(timestep, possession, holder_counts)
+            steps.append(timestep)
+            success = satisfied()
+            if success:
+                break
+            if progressed:
+                stalled_for = 0
+                continue
+            if not self._any_useful_arc(possession):
+                raise StallError(
+                    f"no arc carries a useful token at step {len(steps)} while "
+                    f"demand remains; the instance is unsatisfiable from this state"
+                )
+            if timestep:
+                stalled_for = 0
+            else:
+                stalled_for += 1
+                if stalled_for >= self.stall_limit:
+                    raise StallError(
+                        f"heuristic {self.heuristic.name!r} proposed nothing for "
+                        f"{stalled_for} consecutive timesteps at step {len(steps)} "
+                        f"with demand remaining"
+                    )
+        return RunResult(
+            problem=problem,
+            heuristic_name=self.heuristic.name,
+            schedule=Schedule(steps),
+            success=success,
+        )
+
+    # ------------------------------------------------------------------
+    def _any_useful_arc(self, possession: Sequence[TokenSet]) -> bool:
+        """Whether any arc could still deliver a token its head lacks."""
+        return any(
+            possession[arc.src] - possession[arc.dst] for arc in self.problem.arcs
+        )
+
+    def _validated_timestep(
+        self,
+        proposal: Proposal,
+        possession: Sequence[TokenSet],
+        step: int,
+    ) -> Timestep:
+        problem = self.problem
+        sends: Dict[Tuple[int, int], TokenSet] = {}
+        for (src, dst), tokens in proposal.items():
+            if not tokens:
+                continue
+            if not problem.has_arc(src, dst):
+                raise HeuristicViolation(
+                    f"step {step}: heuristic {self.heuristic.name!r} sent on "
+                    f"missing arc ({src}, {dst})"
+                )
+            if len(tokens) > problem.capacity(src, dst):
+                raise HeuristicViolation(
+                    f"step {step}: heuristic {self.heuristic.name!r} sent "
+                    f"{len(tokens)} tokens on arc ({src}, {dst}) of capacity "
+                    f"{problem.capacity(src, dst)}"
+                )
+            if not tokens <= possession[src]:
+                missing = tokens - possession[src]
+                raise HeuristicViolation(
+                    f"step {step}: heuristic {self.heuristic.name!r} sent tokens "
+                    f"{sorted(missing)} that vertex {src} does not possess"
+                )
+            sends[(src, dst)] = tokens
+        return Timestep(sends)
+
+    def _apply(
+        self,
+        timestep: Timestep,
+        possession: List[TokenSet],
+        holder_counts: List[int],
+    ) -> bool:
+        """Union arriving tokens into possession; return whether any
+        vertex actually gained a token."""
+        progressed = False
+        arrivals: Dict[int, TokenSet] = {}
+        for (src, dst), tokens in timestep.sends.items():
+            arrivals[dst] = arrivals.get(dst, EMPTY_TOKENSET) | tokens
+        for dst, tokens in arrivals.items():
+            gained = tokens - possession[dst]
+            if gained:
+                progressed = True
+                possession[dst] = possession[dst] | gained
+                for t in gained:
+                    holder_counts[t] += 1
+        return progressed
+
+
+def run_heuristic(
+    problem: Problem,
+    heuristic: HeuristicProtocol,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> RunResult:
+    """One-call convenience wrapper around :class:`Engine`."""
+    return Engine(
+        problem, heuristic, rng=random.Random(seed), max_steps=max_steps
+    ).run()

@@ -1,0 +1,54 @@
+"""Overlay topology generators for the evaluation scenarios."""
+
+from repro.topology.base import Topology
+from repro.topology.generators import (
+    adversarial_spread_instance,
+    bottleneck_instance,
+    dag_instance,
+    random_instance,
+)
+from repro.topology.named import (
+    complete_topology,
+    cycle_topology,
+    figure1_gadget,
+    grid_topology,
+    path_topology,
+    star_topology,
+)
+from repro.topology.random_graphs import paper_edge_probability, random_graph
+from repro.topology.transit_stub import (
+    TransitStubParams,
+    params_for_size,
+    transit_stub_graph,
+)
+from repro.topology.weights import (
+    PAPER_CAPACITY_MAX,
+    PAPER_CAPACITY_MIN,
+    paper_capacity,
+    uniform_capacity,
+    unit_capacity,
+)
+
+__all__ = [
+    "PAPER_CAPACITY_MAX",
+    "PAPER_CAPACITY_MIN",
+    "Topology",
+    "TransitStubParams",
+    "adversarial_spread_instance",
+    "bottleneck_instance",
+    "complete_topology",
+    "dag_instance",
+    "random_instance",
+    "cycle_topology",
+    "figure1_gadget",
+    "grid_topology",
+    "paper_capacity",
+    "paper_edge_probability",
+    "params_for_size",
+    "path_topology",
+    "random_graph",
+    "star_topology",
+    "transit_stub_graph",
+    "uniform_capacity",
+    "unit_capacity",
+]

@@ -1,0 +1,98 @@
+"""Random overlay graphs — the paper's G(n, p) family.
+
+Section 5.2: "we run with graphs from 20 to 1000 vertices, randomly
+adding edges with uniform probability ``2 ln n / n``.  At this
+probability, the number of edges in the graph grows as ``O(n ln n)``,
+which maintains reasonable connectedness."
+
+Edges are undirected (symmetric arc pairs) with capacities drawn from the
+paper's [3, 15] distribution by default.  ``2 ln n / n`` is twice the
+sharp connectivity threshold, so disconnection is rare but possible; the
+generator redraws (bounded retries) until the graph is connected, since a
+disconnected instance is trivially unsatisfiable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from repro.topology.base import Topology
+from repro.topology.weights import CapacityFn, paper_capacity
+
+__all__ = ["paper_edge_probability", "random_graph"]
+
+
+def paper_edge_probability(n: int) -> float:
+    """The paper's edge probability ``2 ln n / n`` (clamped to [0, 1])."""
+    if n < 2:
+        return 0.0
+    return min(1.0, 2.0 * math.log(n) / n)
+
+
+def _connected(n: int, edges: List[Tuple[int, int]]) -> bool:
+    if n <= 1:
+        return True
+    adj: List[List[int]] = [[] for _ in range(n)]
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    seen = [False] * n
+    stack = [0]
+    seen[0] = True
+    count = 1
+    while stack:
+        u = stack.pop()
+        for v in adj[u]:
+            if not seen[v]:
+                seen[v] = True
+                count += 1
+                stack.append(v)
+    return count == n
+
+
+def random_graph(
+    n: int,
+    rng: random.Random,
+    p: Optional[float] = None,
+    capacity: CapacityFn = paper_capacity,
+    require_connected: bool = True,
+    max_retries: int = 64,
+) -> Topology:
+    """An Erdős–Rényi overlay with symmetric capacities.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    rng:
+        Randomness source (seed it for reproducibility).
+    p:
+        Edge probability; defaults to the paper's ``2 ln n / n``.
+    capacity:
+        Per-edge capacity draw; defaults to uniform [3, 15].
+    require_connected:
+        Redraw until the underlying undirected graph is connected.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if p is None:
+        p = paper_edge_probability(n)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    for _attempt in range(max_retries):
+        edges: List[Tuple[int, int]] = []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < p:
+                    edges.append((u, v))
+        if not require_connected or _connected(n, edges):
+            weighted = [(u, v, capacity(rng)) for u, v in edges]
+            return Topology.from_undirected_edges(
+                n, weighted, name=f"random(n={n}, p={p:.4f})"
+            )
+    raise RuntimeError(
+        f"failed to draw a connected G({n}, {p:.4f}) graph in "
+        f"{max_retries} attempts"
+    )

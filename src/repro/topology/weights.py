@@ -1,0 +1,47 @@
+"""Capacity (edge weight) assignment strategies.
+
+Section 5.2: "edge weights chosen randomly between 3 and 15 tokens.
+These assignments are arbitrary, but chosen to capture the variety of
+real vertex connectedness."  :func:`paper_capacity` is that distribution;
+the other strategies support ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+__all__ = [
+    "CapacityFn",
+    "paper_capacity",
+    "unit_capacity",
+    "uniform_capacity",
+    "PAPER_CAPACITY_MIN",
+    "PAPER_CAPACITY_MAX",
+]
+
+CapacityFn = Callable[[random.Random], int]
+
+PAPER_CAPACITY_MIN = 3
+PAPER_CAPACITY_MAX = 15
+
+
+def paper_capacity(rng: random.Random) -> int:
+    """Uniform integer capacity in [3, 15], as in the evaluation."""
+    return rng.randint(PAPER_CAPACITY_MIN, PAPER_CAPACITY_MAX)
+
+
+def unit_capacity(rng: random.Random) -> int:
+    """Capacity 1 everywhere — the regime of the hardness constructions."""
+    return 1
+
+
+def uniform_capacity(lo: int, hi: int) -> CapacityFn:
+    """A uniform-integer capacity factory for sweeps over weight ranges."""
+    if not 1 <= lo <= hi:
+        raise ValueError(f"need 1 <= lo <= hi, got [{lo}, {hi}]")
+
+    def draw(rng: random.Random) -> int:
+        return rng.randint(lo, hi)
+
+    return draw

@@ -1,0 +1,17 @@
+"""Have/want scenarios matching the paper's evaluation section."""
+
+from repro.workloads.scenarios import (
+    PAPER_SINGLE_FILE_TOKENS,
+    PAPER_SUBDIVISION_TOKENS,
+    file_subdivision,
+    receiver_density,
+    single_file,
+)
+
+__all__ = [
+    "PAPER_SINGLE_FILE_TOKENS",
+    "PAPER_SUBDIVISION_TOKENS",
+    "file_subdivision",
+    "receiver_density",
+    "single_file",
+]

@@ -1,0 +1,154 @@
+"""The evaluation workloads of Sections 5.2 and 5.3.
+
+Each function attaches a have/want scenario to a :class:`Topology`:
+
+* :func:`single_file` — one source holds a file of ``file_tokens``
+  tokens; every other vertex wants all of it (Figures 2 and 3).
+* :func:`receiver_density` — as above, but each vertex draws a score in
+  [0, 1) and only vertices with score below the threshold want the file
+  (Figure 4; threshold 1 recovers the all-receivers case).
+* :func:`file_subdivision` — 512 tokens at a single source, split into
+  ``num_files`` equal files; the non-source vertices are partitioned
+  evenly across the files, each group wanting exactly its file
+  (Figure 5).  The total token mass leaving the source is constant
+  across the sweep, which is the point of the experiment.
+* With ``multi_sender=True``, :func:`file_subdivision` instead places
+  each file at a random vertex that does not want it (Figure 6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.problem import Problem
+from repro.topology.base import Topology
+
+__all__ = [
+    "single_file",
+    "receiver_density",
+    "file_subdivision",
+    "PAPER_SINGLE_FILE_TOKENS",
+    "PAPER_SUBDIVISION_TOKENS",
+]
+
+PAPER_SINGLE_FILE_TOKENS = 200
+PAPER_SUBDIVISION_TOKENS = 512
+
+
+def single_file(
+    topology: Topology,
+    file_tokens: int = PAPER_SINGLE_FILE_TOKENS,
+    source: int = 0,
+    name: str = "",
+) -> Problem:
+    """Single source, single file, all other vertices are receivers."""
+    if not 0 <= source < topology.num_vertices:
+        raise ValueError(
+            f"source {source} out of range for {topology.num_vertices} vertices"
+        )
+    tokens = list(range(file_tokens))
+    want = {
+        v: tokens for v in range(topology.num_vertices) if v != source
+    }
+    return topology.to_problem(
+        file_tokens,
+        have={source: tokens},
+        want=want,
+        name=name or f"single_file({topology.name}, m={file_tokens})",
+    )
+
+
+def receiver_density(
+    topology: Topology,
+    threshold: float,
+    rng: random.Random,
+    file_tokens: int = PAPER_SINGLE_FILE_TOKENS,
+    source: int = 0,
+    name: str = "",
+) -> Problem:
+    """Single source; vertices join the want set when their random score
+    falls below ``threshold`` (Figure 4's x-axis)."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    tokens = list(range(file_tokens))
+    want: Dict[int, List[int]] = {}
+    for v in range(topology.num_vertices):
+        if v == source:
+            continue
+        if rng.random() < threshold:
+            want[v] = tokens
+    return topology.to_problem(
+        file_tokens,
+        have={source: tokens},
+        want=want,
+        name=name or f"receiver_density({topology.name}, thr={threshold:.2f})",
+    )
+
+
+def file_subdivision(
+    topology: Topology,
+    num_files: int,
+    rng: Optional[random.Random] = None,
+    total_tokens: int = PAPER_SUBDIVISION_TOKENS,
+    source: int = 0,
+    multi_sender: bool = False,
+    name: str = "",
+) -> Problem:
+    """The Figure 5/6 subdivision scenario.
+
+    ``total_tokens`` are split into ``num_files`` contiguous equal files;
+    the vertices other than the (single-sender case) source are split
+    into ``num_files`` groups, group ``i`` wanting file ``i``.  With
+    ``multi_sender=True`` each file instead starts at a random vertex
+    outside its own want group (Figure 6), and ``rng`` must be provided.
+    """
+    n = topology.num_vertices
+    if num_files < 1:
+        raise ValueError(f"need num_files >= 1, got {num_files}")
+    if total_tokens % num_files != 0:
+        raise ValueError(
+            f"{total_tokens} tokens do not divide into {num_files} equal files"
+        )
+    receivers = [v for v in range(n) if v != source]
+    if num_files > len(receivers):
+        raise ValueError(
+            f"{num_files} files need at least {num_files} receiver vertices, "
+            f"got {len(receivers)}"
+        )
+    tokens_per_file = total_tokens // num_files
+    files = [
+        list(range(i * tokens_per_file, (i + 1) * tokens_per_file))
+        for i in range(num_files)
+    ]
+    # Partition receivers as evenly as possible, in vertex order (the
+    # paper subdivides "each set of 100 nodes", i.e. contiguously).
+    groups: List[List[int]] = [[] for _ in range(num_files)]
+    for idx, v in enumerate(receivers):
+        groups[idx * num_files // len(receivers)].append(v)
+
+    want: Dict[int, List[int]] = {}
+    for file_id, group in enumerate(groups):
+        for v in group:
+            want[v] = files[file_id]
+
+    have: Dict[int, List[int]] = {}
+    if multi_sender:
+        if rng is None:
+            raise ValueError("multi_sender=True requires an rng")
+        for file_id, file_tokens in enumerate(files):
+            wanters = set(groups[file_id])
+            candidates = [v for v in range(n) if v not in wanters]
+            sender = rng.choice(candidates)
+            have.setdefault(sender, []).extend(file_tokens)
+    else:
+        have[source] = list(range(total_tokens))
+
+    kind = "multi_sender" if multi_sender else "single_sender"
+    return topology.to_problem(
+        total_tokens,
+        have=have,
+        want=want,
+        name=name
+        or f"file_subdivision({topology.name}, k={num_files}, {kind})",
+    )

@@ -1,0 +1,106 @@
+"""Tests for streaming (per-object latency) analysis."""
+
+import random
+
+import pytest
+
+from repro.analysis.streaming import (
+    arrival_times,
+    playback_delays,
+    streaming_report,
+)
+from repro.core.problem import Problem
+from repro.core.schedule import Move, Schedule
+
+
+@pytest.fixture
+def stream_problem():
+    """0 -> 1 with capacity 1; vertex 1 wants a 3-token stream."""
+    return Problem.build(2, 3, [(0, 1, 1)], {0: [0, 1, 2]}, {1: [0, 1, 2]})
+
+
+class TestArrivalTimes:
+    def test_initial_tokens_arrive_at_zero(self, stream_problem):
+        arrivals = arrival_times(stream_problem, Schedule())
+        assert arrivals[0] == {0: 0, 1: 0, 2: 0}
+        assert arrivals[1] == {}
+
+    def test_first_arrival_recorded(self, stream_problem):
+        schedule = Schedule.from_move_lists(
+            [[Move(0, 1, 0)], [Move(0, 1, 1)], [Move(0, 1, 2)]]
+        )
+        arrivals = arrival_times(stream_problem, schedule)
+        assert arrivals[1] == {0: 1, 1: 2, 2: 3}
+
+
+class TestPlaybackDelays:
+    def test_in_order_arrival_starts_immediately(self, stream_problem):
+        schedule = Schedule.from_move_lists(
+            [[Move(0, 1, 0)], [Move(0, 1, 1)], [Move(0, 1, 2)]]
+        )
+        # token t arrives at t+1: start = max(a_t - t) = 1.
+        assert playback_delays(stream_problem, schedule)[1] == 1
+
+    def test_out_of_order_arrival_delays_start(self, stream_problem):
+        schedule = Schedule.from_move_lists(
+            [[Move(0, 1, 2)], [Move(0, 1, 1)], [Move(0, 1, 0)]]
+        )
+        # Token 0 arrives last (step 3): start = 3.
+        assert playback_delays(stream_problem, schedule)[1] == 3
+
+    def test_rate_two_halves_index_slack(self, stream_problem):
+        schedule = Schedule.from_move_lists(
+            [[Move(0, 1, 0)], [Move(0, 1, 1)], [Move(0, 1, 2)]]
+        )
+        # At rate 2: start = max(1-0, 2-0, 3-1) = 2.
+        assert playback_delays(stream_problem, schedule, rate=2)[1] == 2
+
+    def test_incomplete_is_none(self, stream_problem):
+        schedule = Schedule.from_move_lists([[Move(0, 1, 0)]])
+        assert playback_delays(stream_problem, schedule)[1] is None
+
+    def test_no_want_is_zero(self, stream_problem):
+        schedule = Schedule()
+        assert playback_delays(stream_problem, schedule)[0] == 0
+
+    def test_invalid_rate(self, stream_problem):
+        with pytest.raises(ValueError):
+            playback_delays(stream_problem, Schedule(), rate=0)
+
+
+class TestReport:
+    def test_aggregates(self, stream_problem):
+        schedule = Schedule.from_move_lists(
+            [[Move(0, 1, 0)], [Move(0, 1, 1)], [Move(0, 1, 2)]]
+        )
+        report = streaming_report(stream_problem, schedule)
+        assert report.receivers == 1
+        assert report.incomplete == 0
+        assert report.mean_startup_delay == 1.0
+        assert report.max_startup_delay == 1
+        assert report.all_complete()
+
+    def test_incomplete_counted(self, stream_problem):
+        report = streaming_report(stream_problem, Schedule())
+        assert report.incomplete == 1
+        assert not report.all_complete()
+
+
+class TestSequentialVsRarest:
+    def test_the_classic_tradeoff(self):
+        """Sequential fetching starts playback earlier; rarest-first
+        finishes the whole swarm no later.  (The textbook swarm vs
+        streaming piece-selection tradeoff, measured.)"""
+        from repro.heuristics import LocalRarestHeuristic, SequentialHeuristic
+        from repro.sim import run_heuristic
+        from repro.topology import random_graph
+        from repro.workloads import single_file
+
+        problem = single_file(random_graph(25, random.Random(6)), file_tokens=20)
+        seq = run_heuristic(problem, SequentialHeuristic(), seed=1)
+        rarest = run_heuristic(problem, LocalRarestHeuristic(), seed=1)
+        assert seq.success and rarest.success
+        seq_report = streaming_report(problem, seq.schedule)
+        rarest_report = streaming_report(problem, rarest.schedule)
+        assert seq_report.mean_startup_delay < rarest_report.mean_startup_delay
+        assert rarest.makespan <= seq.makespan

@@ -1,0 +1,136 @@
+"""Tests for the Section 5.1 lower bounds: exact values on structured
+graphs, and admissibility (bound <= true optimum) on random instances."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import (
+    InfeasibleBoundError,
+    diameter_knowledge_bound,
+    lookahead_timestep_bound,
+    remaining_bandwidth,
+    remaining_timesteps,
+)
+from repro.core.problem import Problem
+from repro.core.tokenset import TokenSet
+from repro.exact import solve_focd_bnb
+
+from tests.conftest import problems
+
+
+class TestRemainingBandwidth:
+    def test_counts_wanted_missing(self, path_problem):
+        assert remaining_bandwidth(path_problem) == 2
+
+    def test_zero_when_satisfied(self, trivial_problem):
+        assert remaining_bandwidth(trivial_problem) == 0
+
+    def test_mid_run_possession(self, path_problem):
+        possession = [
+            TokenSet.of(0, 1),
+            TokenSet.of(0),
+            TokenSet.of(0),
+        ]
+        assert remaining_bandwidth(path_problem, possession) == 1
+
+    def test_wrong_possession_length_raises(self, path_problem):
+        with pytest.raises(ValueError):
+            remaining_bandwidth(path_problem, [TokenSet()])
+
+
+class TestRemainingTimesteps:
+    def test_path_pipeline_bound_is_tight(self, path_problem):
+        # 2 tokens over a distance-2 capacity-1 path: 0 + ceil(2 tokens at
+        # distance 2 ... ) -> max_i(i + outside_i) = 1 + 2 = 3.
+        assert remaining_timesteps(path_problem) == 3
+
+    def test_diamond(self, diamond_problem):
+        assert remaining_timesteps(diamond_problem) == 2
+
+    def test_zero_when_satisfied(self, trivial_problem):
+        assert remaining_timesteps(trivial_problem) == 0
+
+    def test_distance_dominates(self):
+        # Long path, single token: bound equals the distance.
+        arcs = [(i, i + 1, 5) for i in range(4)]
+        p = Problem.build(5, 1, arcs, {0: [0]}, {4: [0]})
+        assert remaining_timesteps(p) == 4
+
+    def test_capacity_dominates(self):
+        # Adjacent sender, 6 tokens, in-capacity 2: needs ceil(6/2) = 3.
+        p = Problem.build(
+            2, 6, [(0, 1, 2)], {0: list(range(6))}, {1: list(range(6))}
+        )
+        assert remaining_timesteps(p) == 3
+
+    def test_combined_distance_and_capacity(self):
+        # 4 tokens at distance 2, receiver in-capacity 1:
+        # i=1: outside=4 -> 1+4 = 5.
+        arcs = [(0, 1, 4), (1, 2, 1)]
+        p = Problem.build(3, 4, arcs, {0: list(range(4))}, {2: list(range(4))})
+        assert remaining_timesteps(p) == 5
+
+    def test_unreachable_raises(self):
+        p = Problem.build(2, 1, [(1, 0, 1)], {0: [0]}, {1: [0]})
+        with pytest.raises(InfeasibleBoundError):
+            remaining_timesteps(p)
+
+    def test_no_incoming_arcs_raises(self):
+        p = Problem.build(2, 1, [], {0: [0]}, {1: [0]})
+        with pytest.raises(InfeasibleBoundError):
+            remaining_timesteps(p)
+
+
+class TestLookaheadBound:
+    def test_one_step_sufficient(self):
+        p = Problem.build(2, 1, [(0, 1, 1)], {0: [0]}, {1: [0]})
+        assert lookahead_timestep_bound(p) == 1
+
+    def test_capacity_throttled(self):
+        p = Problem.build(
+            2, 4, [(0, 1, 1)], {0: list(range(4))}, {1: list(range(4))}
+        )
+        # 1 receivable now, 3 more at 1/step.
+        assert lookahead_timestep_bound(p) == 4
+
+    def test_distant_tokens_counted(self, path_problem):
+        # Nothing within one hop of vertex 2 initially.
+        assert lookahead_timestep_bound(path_problem) == 3
+
+    def test_zero_when_satisfied(self, trivial_problem):
+        assert lookahead_timestep_bound(trivial_problem) == 0
+
+
+class TestDiameterBound:
+    def test_matches_graph_diameter(self, diamond_problem):
+        assert diameter_knowledge_bound(diamond_problem) == 2
+
+
+# ----------------------------------------------------------------------
+# Admissibility: every bound is <= the exact optimum.
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems(max_vertices=5, max_tokens=2))
+def test_timestep_bounds_admissible(problem):
+    solved = solve_focd_bnb(problem, max_combinations=500_000)
+    assert solved is not None
+    optimum, witness = solved
+    assert witness.is_successful(problem)
+    assert remaining_timesteps(problem) <= optimum
+    assert lookahead_timestep_bound(problem) <= optimum
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems(max_vertices=5, max_tokens=2))
+def test_bandwidth_bound_admissible(problem):
+    solved = solve_focd_bnb(problem, max_combinations=500_000)
+    assert solved is not None
+    _optimum, witness = solved
+    from repro.core.pruning import prune_schedule
+
+    pruned, _ = prune_schedule(problem, witness)
+    assert remaining_bandwidth(problem) <= pruned.bandwidth or problem.total_demand() == 0

@@ -1,0 +1,93 @@
+"""Tests for schedule metrics: completion times, progress curves,
+summary evaluation."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.metrics import completion_times, evaluate_schedule, progress_curve
+from repro.core.schedule import Move, Schedule
+
+from tests.conftest import problems_with_schedules
+
+
+@pytest.fixture
+def full_run(path_problem):
+    schedule = Schedule.from_move_lists(
+        [[Move(0, 1, 0)], [Move(0, 1, 1), Move(1, 2, 0)], [Move(1, 2, 1)]]
+    )
+    return path_problem, schedule
+
+
+class TestCompletionTimes:
+    def test_source_completes_at_zero(self, full_run):
+        problem, schedule = full_run
+        times = completion_times(problem, schedule)
+        assert times[0] == 0
+        assert times[1] == 0  # wants nothing
+        assert times[2] == 3
+
+    def test_unsatisfied_vertex_is_none(self, path_problem):
+        schedule = Schedule.from_move_lists([[Move(0, 1, 0)]])
+        assert completion_times(path_problem, schedule)[2] is None
+
+    def test_partial_want_completion(self):
+        from repro.core.problem import Problem
+
+        p = Problem.build(2, 2, [(0, 1, 2)], {0: [0, 1]}, {1: [0]})
+        schedule = Schedule.from_move_lists([[Move(0, 1, 0)]])
+        assert completion_times(p, schedule)[1] == 1
+
+
+class TestProgressCurve:
+    def test_monotone_to_zero(self, full_run):
+        problem, schedule = full_run
+        curve = progress_curve(problem, schedule)
+        assert curve[0] == 2
+        assert curve[-1] == 0
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_initial_entry_is_demand(self, path_problem):
+        assert progress_curve(path_problem, Schedule())[0] == 2
+
+    @given(problems_with_schedules())
+    def test_curve_never_increases(self, problem_and_schedule):
+        problem, schedule = problem_and_schedule
+        curve = progress_curve(problem, schedule)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+
+class TestEvaluateSchedule:
+    def test_successful_summary(self, full_run):
+        problem, schedule = full_run
+        metrics = evaluate_schedule(problem, schedule)
+        assert metrics.successful
+        assert metrics.makespan == 3
+        assert metrics.bandwidth == 4
+        assert metrics.max_completion == 3
+        assert metrics.unsatisfied_vertices == 0
+        assert 0 < metrics.mean_completion <= 3
+
+    def test_unsuccessful_summary(self, path_problem):
+        schedule = Schedule.from_move_lists([[Move(0, 1, 0)]])
+        metrics = evaluate_schedule(path_problem, schedule)
+        assert not metrics.successful
+        assert metrics.unsatisfied_vertices == 1
+
+    def test_as_row_keys(self, full_run):
+        problem, schedule = full_run
+        row = evaluate_schedule(problem, schedule).as_row()
+        assert set(row) == {
+            "makespan",
+            "bandwidth",
+            "successful",
+            "mean_completion",
+            "max_completion",
+            "unsatisfied",
+        }
+
+    def test_invalid_schedule_raises(self, path_problem):
+        from repro.core.schedule import ScheduleError
+
+        bad = Schedule.from_move_lists([[Move(1, 2, 0)]])
+        with pytest.raises(ScheduleError):
+            evaluate_schedule(path_problem, bad)

@@ -1,0 +1,156 @@
+"""Unit and property tests for the Section 5.1 pruning pass."""
+
+import random
+
+import pytest
+from hypothesis import given
+
+from repro.core.problem import Problem
+from repro.core.pruning import drop_empty_tail, prune_schedule
+from repro.core.schedule import Move, Schedule
+from repro.heuristics import RoundRobinHeuristic, standard_heuristics
+from repro.sim import run_heuristic
+
+from tests.conftest import make_random_problem, problems
+
+
+class TestDedupPass:
+    def test_repeat_delivery_removed(self, path_problem):
+        # Token 0 delivered to vertex 1 twice.
+        sched = Schedule.from_move_lists(
+            [[Move(0, 1, 0)], [Move(0, 1, 0)], [Move(0, 1, 1)],
+             [Move(1, 2, 0)], [Move(1, 2, 1)]]
+        )
+        pruned, stats = prune_schedule(path_problem, sched)
+        assert stats.removed_by_dedup == 1
+        assert pruned.is_successful(path_problem)
+
+    def test_delivery_of_initial_token_removed(self):
+        # Vertex 1 already has token 0; delivering it is useless.
+        p = Problem.build(2, 1, [(0, 1, 1)], {0: [0], 1: [0]}, {1: [0]})
+        sched = Schedule.from_move_lists([[Move(0, 1, 0)]])
+        pruned, stats = prune_schedule(p, sched)
+        assert pruned.bandwidth == 0
+        assert stats.total_removed == 1
+
+    def test_same_step_parallel_duplicates_keep_one(self):
+        # Both 0 and 1 send token 0 to vertex 2 in the same step.
+        p = Problem.build(
+            3, 1, [(0, 2, 1), (1, 2, 1)], {0: [0], 1: [0]}, {2: [0]}
+        )
+        sched = Schedule.from_move_lists([[Move(0, 2, 0), Move(1, 2, 0)]])
+        pruned, _ = prune_schedule(p, sched)
+        assert pruned.bandwidth == 1
+        assert pruned.is_successful(p)
+
+
+class TestBackwardPass:
+    def test_unused_delivery_removed(self):
+        # Vertex 1 neither wants token 0 nor forwards it.
+        p = Problem.build(3, 1, [(0, 1, 1), (0, 2, 1)], {0: [0]}, {2: [0]})
+        sched = Schedule.from_move_lists([[Move(0, 1, 0), Move(0, 2, 0)]])
+        pruned, stats = prune_schedule(p, sched)
+        assert pruned.bandwidth == 1
+        assert stats.removed_by_backward == 1
+        assert pruned.is_successful(p)
+
+    def test_relay_chain_fully_removed(self):
+        # 0 -> 1 -> 2 where 2 wants nothing: both moves are dead weight.
+        p = Problem.build(3, 1, [(0, 1, 1), (1, 2, 1)], {0: [0]}, {})
+        sched = Schedule.from_move_lists([[Move(0, 1, 0)], [Move(1, 2, 0)]])
+        pruned, _ = prune_schedule(p, sched)
+        assert pruned.bandwidth == 0
+
+    def test_useful_relay_kept(self, path_problem):
+        sched = Schedule.from_move_lists(
+            [[Move(0, 1, 0)], [Move(0, 1, 1), Move(1, 2, 0)], [Move(1, 2, 1)]]
+        )
+        pruned, stats = prune_schedule(path_problem, sched)
+        assert pruned.bandwidth == 4  # nothing to remove
+        assert stats.total_removed == 0
+
+    def test_wanted_delivery_kept_even_if_not_forwarded(self):
+        p = Problem.build(2, 1, [(0, 1, 1)], {0: [0]}, {1: [0]})
+        sched = Schedule.from_move_lists([[Move(0, 1, 0)]])
+        pruned, _ = prune_schedule(p, sched)
+        assert pruned.bandwidth == 1
+
+
+class TestMakespanPreservation:
+    def test_makespan_unchanged(self):
+        p = Problem.build(3, 1, [(0, 1, 1), (1, 2, 1)], {0: [0]}, {})
+        sched = Schedule.from_move_lists([[Move(0, 1, 0)], [Move(1, 2, 0)]])
+        pruned, _ = prune_schedule(p, sched)
+        assert pruned.makespan == sched.makespan  # empty steps kept in place
+
+    def test_drop_empty_tail(self):
+        p = Problem.build(3, 1, [(0, 1, 1), (1, 2, 1)], {0: [0]}, {})
+        sched = Schedule.from_move_lists([[Move(0, 1, 0)], [Move(1, 2, 0)]])
+        pruned, _ = prune_schedule(p, sched)
+        assert drop_empty_tail(pruned).makespan == 0
+
+    def test_drop_empty_tail_keeps_interior_gaps(self, path_problem):
+        sched = Schedule.from_move_lists([[Move(0, 1, 0)], [], [Move(1, 2, 0)]])
+        trimmed = drop_empty_tail(sched)
+        assert trimmed.makespan == 3  # the gap is interior, not a tail
+
+
+class TestStats:
+    def test_stats_accounting(self, path_problem):
+        sched = Schedule.from_move_lists(
+            [[Move(0, 1, 0)], [Move(0, 1, 0)], [Move(0, 1, 1)],
+             [Move(1, 2, 0)], [Move(1, 2, 1)]]
+        )
+        _, stats = prune_schedule(path_problem, sched)
+        assert stats.original_bandwidth == 5
+        assert stats.after_dedup == 4
+        assert stats.after_backward == 4
+        assert stats.total_removed == 1
+        assert stats.removed_by_dedup + stats.removed_by_backward == 1
+
+
+# ----------------------------------------------------------------------
+# Property tests: pruning against real heuristic schedules
+# ----------------------------------------------------------------------
+
+
+def _heuristic_schedules():
+    rng = random.Random(777)
+    for _ in range(6):
+        problem = make_random_problem(rng)
+        for heuristic in standard_heuristics():
+            result = run_heuristic(problem, heuristic, seed=rng.randrange(1000))
+            if result.success:
+                yield problem, result.schedule
+
+
+@pytest.mark.parametrize(
+    "problem,schedule", list(_heuristic_schedules()),
+    ids=lambda v: "" if isinstance(v, Schedule) else repr(v),
+)
+def test_prune_preserves_success_on_heuristic_runs(problem, schedule):
+    pruned, stats = prune_schedule(problem, schedule)
+    assert pruned.is_successful(problem)
+    assert pruned.bandwidth <= schedule.bandwidth
+    assert pruned.makespan == schedule.makespan
+    assert stats.total_removed == schedule.bandwidth - pruned.bandwidth
+
+
+@given(problems())
+def test_prune_idempotent(problem):
+    result = run_heuristic(problem, RoundRobinHeuristic(), seed=0)
+    pruned_once, _ = prune_schedule(problem, result.schedule)
+    pruned_twice, stats = prune_schedule(problem, pruned_once)
+    assert stats.total_removed == 0
+    assert pruned_twice.bandwidth == pruned_once.bandwidth
+
+
+@given(problems())
+def test_prune_never_below_demand(problem):
+    """Pruned bandwidth is still >= the wanted-but-missing lower bound."""
+    result = run_heuristic(problem, RoundRobinHeuristic(), seed=1)
+    if not result.success:
+        return
+    pruned, _ = prune_schedule(problem, result.schedule)
+    demand = problem.total_demand()
+    assert pruned.bandwidth >= demand

@@ -1,0 +1,224 @@
+"""Unit and property tests for the bitmask TokenSet."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+
+from tests.conftest import token_sets
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(TokenSet()) == 0
+        assert not TokenSet()
+        assert TokenSet() == EMPTY_TOKENSET
+
+    def test_of(self):
+        s = TokenSet.of(0, 2, 5)
+        assert sorted(s) == [0, 2, 5]
+
+    def test_of_duplicates_collapse(self):
+        assert TokenSet.of(1, 1, 1) == TokenSet.of(1)
+
+    def test_from_iterable(self):
+        assert TokenSet.from_iterable(range(4)) == TokenSet.of(0, 1, 2, 3)
+
+    def test_full(self):
+        assert sorted(TokenSet.full(3)) == [0, 1, 2]
+        assert TokenSet.full(0) == EMPTY_TOKENSET
+
+    def test_single(self):
+        assert sorted(TokenSet.single(7)) == [7]
+
+    def test_token_range(self):
+        assert sorted(TokenSet.token_range(2, 5)) == [2, 3, 4]
+        assert TokenSet.token_range(3, 3) == EMPTY_TOKENSET
+
+    def test_token_range_invalid(self):
+        with pytest.raises(ValueError):
+            TokenSet.token_range(5, 2)
+
+    def test_negative_token_rejected(self):
+        with pytest.raises(ValueError):
+            TokenSet.of(-1)
+        with pytest.raises(ValueError):
+            TokenSet.single(-2)
+        with pytest.raises(ValueError):
+            TokenSet(-1)
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert TokenSet.of(0, 1) | TokenSet.of(1, 2) == TokenSet.of(0, 1, 2)
+
+    def test_intersection(self):
+        assert TokenSet.of(0, 1) & TokenSet.of(1, 2) == TokenSet.of(1)
+
+    def test_difference(self):
+        assert TokenSet.of(0, 1, 2) - TokenSet.of(1) == TokenSet.of(0, 2)
+
+    def test_symmetric_difference(self):
+        assert TokenSet.of(0, 1) ^ TokenSet.of(1, 2) == TokenSet.of(0, 2)
+
+    def test_variadic_union(self):
+        assert TokenSet.of(0).union(TokenSet.of(1), TokenSet.of(2)) == TokenSet.of(
+            0, 1, 2
+        )
+
+    def test_variadic_intersection(self):
+        a = TokenSet.of(0, 1, 2)
+        assert a.intersection(TokenSet.of(1, 2), TokenSet.of(2)) == TokenSet.of(2)
+
+    def test_variadic_difference(self):
+        a = TokenSet.of(0, 1, 2, 3)
+        assert a.difference(TokenSet.of(0), TokenSet.of(3)) == TokenSet.of(1, 2)
+
+    def test_add_remove(self):
+        s = TokenSet.of(1)
+        assert s.add(3) == TokenSet.of(1, 3)
+        assert s.add(1) == s
+        assert s.remove(1) == EMPTY_TOKENSET
+        assert s.remove(9) == s  # removing an absent member is a no-op
+
+    def test_operations_do_not_mutate(self):
+        s = TokenSet.of(1, 2)
+        _ = s | TokenSet.of(5)
+        _ = s.add(9)
+        assert sorted(s) == [1, 2]
+
+
+class TestPredicates:
+    def test_contains(self):
+        s = TokenSet.of(0, 5)
+        assert 0 in s and 5 in s
+        assert 3 not in s
+        assert -1 not in s
+
+    def test_subset(self):
+        assert TokenSet.of(1) <= TokenSet.of(0, 1)
+        assert not TokenSet.of(2) <= TokenSet.of(0, 1)
+        assert TokenSet.of(1) <= TokenSet.of(1)
+
+    def test_strict_subset(self):
+        assert TokenSet.of(1) < TokenSet.of(0, 1)
+        assert not TokenSet.of(1) < TokenSet.of(1)
+
+    def test_superset(self):
+        assert TokenSet.of(0, 1) >= TokenSet.of(1)
+        assert TokenSet.of(0, 1) > TokenSet.of(1)
+
+    def test_issubset_issuperset(self):
+        assert TokenSet.of(1).issubset(TokenSet.of(0, 1))
+        assert TokenSet.of(0, 1).issuperset(TokenSet.of(0))
+
+    def test_isdisjoint(self):
+        assert TokenSet.of(0).isdisjoint(TokenSet.of(1))
+        assert not TokenSet.of(0, 1).isdisjoint(TokenSet.of(1, 2))
+
+    def test_bool(self):
+        assert TokenSet.of(0)
+        assert not EMPTY_TOKENSET
+
+
+class TestSizeIteration:
+    def test_len(self):
+        assert len(TokenSet.of(0, 10, 100)) == 3
+
+    def test_iteration_sorted(self):
+        assert list(TokenSet.of(5, 1, 9)) == [1, 5, 9]
+
+    def test_min_max(self):
+        s = TokenSet.of(3, 7, 11)
+        assert s.min() == 3
+        assert s.max() == 11
+
+    def test_min_max_empty_raise(self):
+        with pytest.raises(ValueError):
+            EMPTY_TOKENSET.min()
+        with pytest.raises(ValueError):
+            EMPTY_TOKENSET.max()
+
+    def test_take(self):
+        s = TokenSet.of(2, 4, 6, 8)
+        assert sorted(s.take(2)) == [2, 4]
+        assert s.take(10) == s
+        assert s.take(0) == EMPTY_TOKENSET
+
+    def test_take_negative_raises(self):
+        with pytest.raises(ValueError):
+            TokenSet.of(1).take(-1)
+
+    def test_large_token_ids(self):
+        s = TokenSet.of(1000)
+        assert 1000 in s
+        assert len(s) == 1
+        assert s.max() == 1000
+
+
+class TestDunder:
+    def test_eq_hash(self):
+        assert TokenSet.of(1, 2) == TokenSet.of(2, 1)
+        assert hash(TokenSet.of(1, 2)) == hash(TokenSet.of(2, 1))
+        assert TokenSet.of(1) != TokenSet.of(2)
+
+    def test_eq_other_type(self):
+        assert TokenSet.of(1) != {1}
+
+    def test_repr_roundtrip(self):
+        s = TokenSet.of(0, 3)
+        assert eval(repr(s)) == s
+
+
+# ----------------------------------------------------------------------
+# Property tests
+# ----------------------------------------------------------------------
+
+
+@given(token_sets, token_sets)
+def test_union_matches_python_sets(a, b):
+    assert sorted(a | b) == sorted(set(a) | set(b))
+
+
+@given(token_sets, token_sets)
+def test_intersection_matches_python_sets(a, b):
+    assert sorted(a & b) == sorted(set(a) & set(b))
+
+
+@given(token_sets, token_sets)
+def test_difference_matches_python_sets(a, b):
+    assert sorted(a - b) == sorted(set(a) - set(b))
+
+
+@given(token_sets, token_sets)
+def test_xor_matches_python_sets(a, b):
+    assert sorted(a ^ b) == sorted(set(a) ^ set(b))
+
+
+@given(token_sets)
+def test_len_is_popcount(a):
+    assert len(a) == len(set(a))
+
+
+@given(token_sets, token_sets)
+def test_subset_consistent_with_difference(a, b):
+    assert (a <= b) == (not (a - b))
+
+
+@given(token_sets, token_sets, token_sets)
+def test_union_associative(a, b, c):
+    assert (a | b) | c == a | (b | c)
+
+
+@given(token_sets, token_sets)
+def test_demorgan_within_union(a, b):
+    universe = a | b
+    assert universe - (a & b) == (universe - a) | (universe - b)
+
+
+@given(token_sets, st.integers(min_value=0, max_value=20))
+def test_take_is_prefix(a, k):
+    taken = a.take(k)
+    assert len(taken) == min(k, len(a))
+    assert sorted(taken) == sorted(a)[: len(taken)]

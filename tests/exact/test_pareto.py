@@ -1,0 +1,71 @@
+"""Tests for the time/bandwidth Pareto frontier."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.problem import Problem
+from repro.exact.pareto import cheapest_within_factor, pareto_frontier
+from repro.topology import figure1_gadget
+
+from tests.conftest import problems
+
+
+class TestFrontier:
+    def test_figure1_frontier(self):
+        """The gadget's whole story in one call: (2 steps, 6 moves) then
+        (3 steps, 4 moves)."""
+        frontier = pareto_frontier(figure1_gadget())
+        assert [(p.horizon, p.bandwidth) for p in frontier] == [(2, 6), (3, 4)]
+        for point in frontier:
+            assert point.schedule.is_successful(figure1_gadget())
+            assert point.schedule.makespan <= point.horizon
+            assert point.schedule.bandwidth == point.bandwidth
+
+    def test_no_tradeoff_single_point(self, path_problem):
+        frontier = pareto_frontier(path_problem)
+        assert [(p.horizon, p.bandwidth) for p in frontier] == [(3, 4)]
+
+    def test_trivial_problem(self, trivial_problem):
+        frontier = pareto_frontier(trivial_problem)
+        assert [(p.horizon, p.bandwidth) for p in frontier] == [(0, 0)]
+
+    def test_unsatisfiable_none(self):
+        p = Problem.build(2, 1, [(1, 0, 1)], {0: [0]}, {1: [0]})
+        assert pareto_frontier(p) is None
+
+    @settings(max_examples=10, deadline=None)
+    @given(problems(max_vertices=4, max_tokens=2))
+    def test_frontier_properties(self, problem):
+        frontier = pareto_frontier(problem, max_horizon=12)
+        assert frontier is not None and frontier
+        horizons = [p.horizon for p in frontier]
+        bandwidths = [p.bandwidth for p in frontier]
+        # Strictly increasing time, strictly decreasing bandwidth.
+        assert horizons == sorted(set(horizons))
+        assert bandwidths == sorted(set(bandwidths), reverse=True)
+        # Ends at the unconstrained optimum.
+        from repro.exact import min_bandwidth_exact
+
+        assert bandwidths[-1] == min_bandwidth_exact(problem)
+
+
+class TestHybridLookup:
+    def test_factor_one_is_fastest(self):
+        point = cheapest_within_factor(figure1_gadget(), 1.0)
+        assert (point.horizon, point.bandwidth) == (2, 6)
+
+    def test_factor_1_5_reaches_cheap_point(self):
+        point = cheapest_within_factor(figure1_gadget(), 1.5)
+        assert (point.horizon, point.bandwidth) == (3, 4)
+
+    def test_large_factor_is_eocd_optimum(self):
+        point = cheapest_within_factor(figure1_gadget(), 10.0)
+        assert point.bandwidth == 4
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            cheapest_within_factor(figure1_gadget(), 0.5)
+
+    def test_unsatisfiable_none(self):
+        p = Problem.build(2, 1, [(1, 0, 1)], {0: [0]}, {1: [0]})
+        assert cheapest_within_factor(p, 2.0) is None

@@ -1,0 +1,142 @@
+"""Tests for the Steiner-arborescence EOCD solvers."""
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.exact.steiner import (
+    eocd_serial_schedule,
+    min_bandwidth_approx,
+    min_bandwidth_exact,
+    steiner_cost_exact,
+    steiner_tree_approx,
+)
+from repro.topology import figure1_gadget
+
+
+class TestExactCost:
+    def test_direct_edge(self):
+        p = Problem.build(2, 1, [(0, 1, 1)], {0: [0]}, {1: [0]})
+        assert steiner_cost_exact(p, [0], [1]) == 1
+
+    def test_path_relay_counted(self, path_problem):
+        assert steiner_cost_exact(path_problem, [0], [2]) == 2
+
+    def test_branching_tree_shares_trunk(self):
+        # 0 -> 1 -> {2, 3}: trunk shared, cost 3 not 4.
+        p = Problem.build(
+            4, 1, [(0, 1, 1), (1, 2, 1), (1, 3, 1)], {0: [0]}, {2: [0], 3: [0]}
+        )
+        assert steiner_cost_exact(p, [0], [2, 3]) == 3
+
+    def test_multi_source_picks_nearest(self):
+        # Holders 0 and 2; terminal 3 adjacent to 2.
+        p = Problem.build(
+            4, 1, [(0, 1, 1), (1, 3, 1), (2, 3, 1)], {0: [0], 2: [0]}, {3: [0]}
+        )
+        assert steiner_cost_exact(p, [0, 2], [3]) == 1
+
+    def test_terminal_already_holder(self):
+        p = Problem.build(2, 1, [(0, 1, 1)], {0: [0]}, {0: [0]})
+        assert steiner_cost_exact(p, [0], [0]) == 0
+
+    def test_unreachable_terminal(self):
+        p = Problem.build(2, 1, [(1, 0, 1)], {0: [0]}, {1: [0]})
+        assert steiner_cost_exact(p, [0], [1]) is None
+
+    def test_no_holders(self):
+        p = Problem.build(2, 1, [(0, 1, 1)], {}, {1: [0]})
+        assert steiner_cost_exact(p, [], [1]) is None
+
+    def test_too_many_terminals_rejected(self):
+        p = Problem.build(20, 1, [(0, i, 1) for i in range(1, 20)], {0: [0]}, {})
+        with pytest.raises(ValueError, match="too many"):
+            steiner_cost_exact(p, [0], list(range(1, 19)))
+
+    def test_figure1_gadget_cost(self):
+        g = figure1_gadget()
+        assert steiner_cost_exact(g, [0], [1, 2, 3, 4]) == 4
+
+
+class TestApprox:
+    def test_approx_upper_bounds_exact(self, diamond_problem):
+        exact = steiner_cost_exact(diamond_problem, [0], [1, 2, 3])
+        approx = steiner_tree_approx(diamond_problem, [0], [1, 2, 3])
+        assert approx is not None
+        assert approx.cost >= exact
+
+    def test_approx_tree_is_connected(self):
+        p = Problem.build(
+            5,
+            1,
+            [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (0, 4, 1)],
+            {0: [0]},
+            {2: [0], 4: [0]},
+        )
+        tree = steiner_tree_approx(p, [0], [2, 4])
+        assert tree is not None
+        # Every terminal reachable via tree arcs from a holder.
+        reachable = {0}
+        changed = True
+        while changed:
+            changed = False
+            for src, dst in tree.arcs:
+                if src in reachable and dst not in reachable:
+                    reachable.add(dst)
+                    changed = True
+        assert {2, 4} <= reachable
+
+    def test_approx_unreachable_none(self):
+        p = Problem.build(2, 1, [(1, 0, 1)], {0: [0]}, {1: [0]})
+        assert steiner_tree_approx(p, [0], [1]) is None
+
+    def test_approx_empty_terminals(self):
+        p = Problem.build(2, 1, [(0, 1, 1)], {0: [0]}, {})
+        tree = steiner_tree_approx(p, [0], [])
+        assert tree is not None and tree.cost == 0
+
+
+class TestProblemLevel:
+    def test_min_bandwidth_exact_path(self, path_problem):
+        assert min_bandwidth_exact(path_problem) == 4
+
+    def test_min_bandwidth_exact_figure1(self):
+        assert min_bandwidth_exact(figure1_gadget()) == 4
+
+    def test_min_bandwidth_approx_at_least_exact(self, diamond_problem):
+        assert min_bandwidth_approx(diamond_problem) >= min_bandwidth_exact(
+            diamond_problem
+        )
+
+    def test_unsatisfiable_returns_none(self):
+        p = Problem.build(2, 1, [(1, 0, 1)], {0: [0]}, {1: [0]})
+        assert min_bandwidth_exact(p) is None
+        assert min_bandwidth_approx(p) is None
+        assert eocd_serial_schedule(p) is None
+
+    def test_trivial_zero(self, trivial_problem):
+        assert min_bandwidth_exact(trivial_problem) == 0
+
+
+class TestSerialSchedule:
+    def test_serial_schedule_valid_and_successful(self, path_problem):
+        schedule = eocd_serial_schedule(path_problem)
+        assert schedule is not None
+        assert schedule.is_successful(path_problem)
+
+    def test_one_move_per_step(self, diamond_problem):
+        schedule = eocd_serial_schedule(diamond_problem)
+        for step in schedule.steps:
+            assert step.num_moves() == 1
+
+    def test_bandwidth_matches_approx_cost(self, diamond_problem):
+        schedule = eocd_serial_schedule(diamond_problem)
+        assert schedule.bandwidth == min_bandwidth_approx(diamond_problem)
+
+    def test_serial_matches_paper_tradeoff(self):
+        """On the Figure 1 gadget the serial schedule realizes the
+        bandwidth optimum (4 moves) at the cost of time."""
+        g = figure1_gadget()
+        schedule = eocd_serial_schedule(g)
+        assert schedule.is_successful(g)
+        assert schedule.bandwidth == 4
+        assert schedule.makespan > 2

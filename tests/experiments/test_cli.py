@@ -1,0 +1,120 @@
+"""Tests for the ocd-repro command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.problem import Problem
+
+
+@pytest.fixture
+def problem_file(tmp_path, path_problem):
+    path = tmp_path / "problem.json"
+    path.write_text(json.dumps(path_problem.to_dict()))
+    return str(path)
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig1" in out and "fig7" in out and "locd" in out and "gap" in out
+
+
+class TestRun:
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "min_time_steps" in out
+        assert "completed" in out
+
+    def test_run_unknown_rejected(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_csv_output(self, tmp_path, capsys):
+        csv_dir = str(tmp_path / "csvs")
+        assert main(["run", "fig1", "--csv-dir", csv_dir]) == 0
+        assert os.path.exists(os.path.join(csv_dir, "fig1.csv"))
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["random", "bottleneck", "dag", "spread"])
+    def test_generates_valid_problem(self, family, tmp_path, capsys):
+        out = str(tmp_path / "p.json")
+        assert main(["generate", "--family", family, "--seed", "1", "--out", out]) == 0
+        with open(out) as handle:
+            problem = Problem.from_dict(json.load(handle))
+        assert problem.is_satisfiable()
+
+    def test_stdout_output(self, capsys):
+        assert main(["generate", "--seed", "2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert Problem.from_dict(data).num_vertices >= 2
+
+    def test_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        main(["generate", "--seed", "5", "--out", a])
+        main(["generate", "--seed", "5", "--out", b])
+        assert open(a).read() == open(b).read()
+
+
+class TestSolve:
+    def test_solves_path_problem(self, problem_file, capsys):
+        assert main(["solve", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "optimal makespan (FOCD): 3" in out
+        assert "optimal bandwidth (EOCD): 4" in out
+
+    def test_unsatisfiable_reported(self, tmp_path, capsys):
+        p = Problem.build(2, 1, [(1, 0, 1)], {0: [0]}, {1: [0]})
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(p.to_dict()))
+        assert main(["solve", str(path)]) == 1
+        assert "unsatisfiable" in capsys.readouterr().out
+
+    def test_conflict_noted_on_figure1(self, tmp_path, capsys):
+        from repro.topology import figure1_gadget
+
+        path = tmp_path / "fig1.json"
+        path.write_text(json.dumps(figure1_gadget().to_dict()))
+        assert main(["solve", str(path)]) == 0
+        assert "conflict" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_runs_heuristic(self, problem_file, capsys):
+        assert main(["simulate", problem_file, "--heuristic", "local"]) == 0
+        out = capsys.readouterr().out
+        assert "success=True" in out
+        assert "makespan=3" in out
+
+    def test_render_flag(self, problem_file, capsys):
+        assert main(["simulate", problem_file, "--render"]) == 0
+        assert "step 1:" in capsys.readouterr().out
+
+    def test_sequential_supported(self, problem_file, capsys):
+        assert main(["simulate", problem_file, "--heuristic", "sequential"]) == 0
+        assert "sequential" in capsys.readouterr().out
+
+    def test_unknown_heuristic(self, problem_file, capsys):
+        assert main(["simulate", problem_file, "--heuristic", "dijkstra"]) == 2
+        assert "unknown heuristic" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_table_printed(self, problem_file, capsys):
+        assert main(["compare", problem_file]) == 0
+        out = capsys.readouterr().out
+        for name in ("round_robin", "random", "local", "bandwidth", "global"):
+            assert name in out
+
+    def test_with_sequential(self, problem_file, capsys):
+        assert main(["compare", problem_file, "--with-sequential"]) == 0
+        assert "sequential" in capsys.readouterr().out

@@ -1,0 +1,183 @@
+"""Tests for the changing-network-conditions extension (§6)."""
+
+import random
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.extensions.dynamic import (
+    CapacitySchedule,
+    churn_schedule,
+    constant_conditions,
+    oracle_makespan,
+    periodic_outages,
+    random_fluctuations,
+    run_dynamic,
+)
+from repro.heuristics import make_heuristic
+from repro.sim import run_heuristic
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+
+@pytest.fixture
+def relay_path():
+    """Bidirectional 0 - 1 - 2 with the token at 0 wanted at 2."""
+    return Problem.build(
+        3, 1, [(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 1, 1)], {0: [0]}, {2: [0]}
+    )
+
+
+class TestCapacitySchedule:
+    def test_constant_matches_static_run(self):
+        topo = random_graph(12, random.Random(4))
+        problem = single_file(topo, file_tokens=5)
+        static = run_heuristic(problem, make_heuristic("local"), seed=1)
+        dynamic = run_dynamic(
+            constant_conditions(problem), make_heuristic("local"), seed=1
+        )
+        assert dynamic.success
+        assert dynamic.makespan == static.makespan
+
+    def test_problem_at_drops_dead_arcs(self, relay_path):
+        conditions = churn_schedule(relay_path, {1: [(0, 2)]})
+        assert conditions.problem_at(0).num_vertices == 3
+        assert len(conditions.problem_at(0).arcs) == 0
+        assert len(conditions.problem_at(2).arcs) == 4
+
+    def test_negative_capacity_rejected(self, relay_path):
+        conditions = CapacitySchedule(relay_path, lambda s, a: -1)
+        with pytest.raises(ValueError):
+            conditions.capacity_at(0, relay_path.arcs[0])
+
+    def test_fluctuations_deterministic(self, relay_path):
+        a = random_fluctuations(relay_path, seed=3)
+        b = random_fluctuations(relay_path, seed=3)
+        arc = relay_path.arcs[0]
+        assert [a.capacity_at(s, arc) for s in range(5)] == [
+            b.capacity_at(s, arc) for s in range(5)
+        ]
+
+    def test_fluctuations_within_bounds(self):
+        p = Problem.build(2, 1, [(0, 1, 10)], {0: [0]}, {1: [0]})
+        conditions = random_fluctuations(p, seed=1, low=0.5, high=1.0)
+        for step in range(20):
+            cap = conditions.capacity_at(step, p.arcs[0])
+            assert 5 <= cap <= 10
+
+    def test_fluctuations_invalid_range(self, relay_path):
+        with pytest.raises(ValueError):
+            random_fluctuations(relay_path, seed=0, low=0.9, high=0.5)
+
+    def test_outages_cycle(self):
+        p = Problem.build(2, 1, [(0, 1, 4)], {0: [0]}, {1: [0]})
+        conditions = periodic_outages(p, period=3, down_for=1, seed=0)
+        caps = [conditions.capacity_at(s, p.arcs[0]) for s in range(9)]
+        assert caps.count(0) == 3  # one outage turn per period
+        assert set(caps) == {0, 4}
+
+    def test_outages_invalid(self, relay_path):
+        with pytest.raises(ValueError):
+            periodic_outages(relay_path, period=2, down_for=2)
+
+
+class TestChurn:
+    def test_absent_relay_delays_delivery(self, relay_path):
+        conditions = churn_schedule(relay_path, {1: [(0, 3)]})
+        result = run_dynamic(conditions, make_heuristic("local"), seed=0)
+        assert result.success
+        assert result.makespan >= 5  # wait 3, then 2 hops
+
+    def test_no_moves_touch_absent_vertices(self, relay_path):
+        conditions = churn_schedule(relay_path, {1: [(0, 3)]})
+        result = run_dynamic(conditions, make_heuristic("local"), seed=0)
+        for step_index, step in enumerate(result.schedule.steps[:3]):
+            for (src, dst) in step.sends:
+                assert 1 not in (src, dst), (step_index, src, dst)
+
+    def test_invalid_intervals(self, relay_path):
+        with pytest.raises(ValueError):
+            churn_schedule(relay_path, {1: [(3, 3)]})
+        with pytest.raises(ValueError):
+            churn_schedule(relay_path, {9: [(0, 1)]})
+
+    def test_departure_and_return(self, relay_path):
+        """A vertex absent mid-run: progress resumes after it returns."""
+        conditions = churn_schedule(relay_path, {1: [(1, 4)]})
+        result = run_dynamic(conditions, make_heuristic("local"), seed=0)
+        assert result.success
+        # step 0: 0 -> 1; steps 1-3: vertex 1 away; step 4: 1 -> 2.
+        assert result.makespan == 5
+
+
+class TestOracle:
+    def test_static_oracle_matches_exact(self, relay_path):
+        from repro.exact import solve_focd_bnb
+
+        optimum, _ = solve_focd_bnb(relay_path)
+        assert oracle_makespan(constant_conditions(relay_path), 10) == optimum
+
+    def test_oracle_accounts_for_outage(self, relay_path):
+        conditions = churn_schedule(relay_path, {1: [(0, 3)]})
+        assert oracle_makespan(conditions, 10) == 5
+
+    def test_online_never_beats_oracle(self, relay_path):
+        conditions = churn_schedule(relay_path, {1: [(0, 2)]})
+        oracle = oracle_makespan(conditions, 12)
+        online = run_dynamic(conditions, make_heuristic("local"), seed=0)
+        assert online.success
+        assert online.makespan >= oracle
+
+    def test_horizon_exhaustion_returns_none(self, relay_path):
+        assert oracle_makespan(constant_conditions(relay_path), 1) is None
+
+    def test_oracle_can_exploit_future_knowledge(self):
+        """The oracle routes around a *future* outage the online
+        adaptive heuristic cannot foresee.
+
+        Two routes from 0 to 3: fast 0-1-3 and slow 0-2-...-3 of equal
+        first hop.  The 1-3 link dies exactly when the online run would
+        use it; the oracle sends via 2 from the start.
+        """
+        p = Problem.build(
+            4,
+            1,
+            [(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)],
+            {0: [0]},
+            {3: [0]},
+        )
+
+        def caps(step, arc):
+            if (arc.src, arc.dst) == (1, 3) and step >= 1:
+                return 0
+            return arc.capacity
+
+        conditions = CapacitySchedule(p, caps, name="trap")
+        assert oracle_makespan(conditions, 8) == 2
+
+
+class TestDynamicEngineRobustness:
+    @pytest.mark.parametrize("name", ["round_robin", "random", "local", "global"])
+    def test_heuristics_complete_under_fluctuations(self, name):
+        topo = random_graph(12, random.Random(6))
+        problem = single_file(topo, file_tokens=5)
+        conditions = random_fluctuations(problem, seed=2, low=0.4, high=1.0)
+        result = run_dynamic(conditions, make_heuristic(name), seed=0)
+        assert result.success
+
+    @pytest.mark.parametrize("name", ["random", "local", "global"])
+    def test_heuristics_complete_under_outages(self, name):
+        topo = random_graph(10, random.Random(7))
+        problem = single_file(topo, file_tokens=4)
+        conditions = periodic_outages(problem, period=4, down_for=1, seed=1)
+        result = run_dynamic(conditions, make_heuristic(name), seed=0)
+        assert result.success
+
+    def test_schedule_respects_per_turn_capacities(self, relay_path):
+        conditions = periodic_outages(relay_path, period=2, down_for=1, seed=0)
+        result = run_dynamic(conditions, make_heuristic("local"), seed=0)
+        for step_index, step in enumerate(result.schedule.steps):
+            current = conditions.problem_at(step_index)
+            for (src, dst), tokens in step.sends.items():
+                assert current.has_arc(src, dst)
+                assert len(tokens) <= current.capacity(src, dst)

@@ -1,0 +1,105 @@
+"""Behavioral tests for the Bandwidth heuristic."""
+
+import random
+
+from repro.core.problem import Problem
+from repro.core.tokenset import TokenSet
+from repro.heuristics import BandwidthHeuristic, LocalRarestHeuristic
+from repro.sim import StepContext, run_heuristic
+from repro.topology import path_topology, random_graph
+from repro.workloads import receiver_density, single_file
+
+
+def _context(problem, possession=None, seed=0):
+    possession = tuple(possession if possession is not None else problem.have)
+    counts = [0] * problem.num_tokens
+    for tokens in possession:
+        for t in tokens:
+            counts[t] += 1
+    return StepContext(problem, 0, possession, tuple(counts), random.Random(seed))
+
+
+class TestEventualUseFilter:
+    def test_needer_pulls_directly(self):
+        p = Problem.build(2, 1, [(0, 1, 1)], {0: [0]}, {1: [0]})
+        h = BandwidthHeuristic()
+        h.reset(p, random.Random(0))
+        proposal = h.propose(_context(p))
+        assert proposal[(0, 1)] == TokenSet.of(0)
+
+    def test_non_wanter_not_flooded(self):
+        """A vertex that neither wants the token nor relays toward a
+        needer receives nothing — the defining restraint."""
+        # 0 -> 1 dead end; 0 -> 2 wanter.
+        p = Problem.build(
+            3, 1, [(0, 1, 1), (0, 2, 1)], {0: [0]}, {2: [0]}
+        )
+        h = BandwidthHeuristic()
+        h.reset(p, random.Random(0))
+        proposal = h.propose(_context(p))
+        assert (0, 1) not in proposal
+        assert proposal[(0, 2)] == TokenSet.of(0)
+
+    def test_relay_pull_for_far_needer(self):
+        """On 0 -> 1 -> 2 with only vertex 2 wanting, vertex 1 is the
+        closest one-hop-knowledge vertex and pulls as a relay."""
+        p = Problem.build(3, 1, [(0, 1, 1), (1, 2, 1)], {0: [0]}, {2: [0]})
+        h = BandwidthHeuristic()
+        h.reset(p, random.Random(0))
+        proposal = h.propose(_context(p))
+        assert proposal[(0, 1)] == TokenSet.of(0)
+
+    def test_single_relay_chosen_among_ties(self):
+        """Two equally-close one-hop relays: only one pulls (smallest id,
+        deterministically), halving the flood."""
+        # 0 -> {1, 2} -> 3; only 3 wants.
+        p = Problem.build(
+            4, 1, [(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)], {0: [0]}, {3: [0]}
+        )
+        h = BandwidthHeuristic()
+        h.reset(p, random.Random(0))
+        proposal = h.propose(_context(p))
+        pulls = [arc for arc in proposal if arc[0] == 0]
+        assert pulls == [(0, 1)]
+
+    def test_token_fully_distributed_goes_quiet(self):
+        p = Problem.build(2, 1, [(0, 1, 1)], {0: [0], 1: [0]}, {1: [0]})
+        h = BandwidthHeuristic()
+        h.reset(p, random.Random(0))
+        assert h.propose(_context(p)) == {}
+
+
+class TestEndToEnd:
+    def test_completes_sparse_demand_cheaply(self):
+        """At low receiver density the bandwidth heuristic undercuts the
+        flooding Local heuristic by a wide margin (Figure 4)."""
+        rng = random.Random(8)
+        topo = random_graph(40, rng)
+        problem = receiver_density(topo, 0.2, rng, file_tokens=20)
+        bw = run_heuristic(problem, BandwidthHeuristic(), seed=0)
+        local = run_heuristic(problem, LocalRarestHeuristic(), seed=0)
+        assert bw.success and local.success
+        assert bw.bandwidth < 0.6 * local.bandwidth
+
+    def test_no_savings_when_everyone_wants_everything(self):
+        """The paper: with all receivers, the bandwidth heuristic shows
+        no savings over flooding (everything is eventually used)."""
+        problem = single_file(path_topology(5, capacity=2), file_tokens=6)
+        bw = run_heuristic(problem, BandwidthHeuristic(), seed=0)
+        local = run_heuristic(problem, LocalRarestHeuristic(), seed=0)
+        assert bw.success and local.success
+        assert bw.bandwidth >= local.bandwidth * 0.9
+
+    def test_moves_only_eventually_used_tokens(self):
+        """Every pruned-away move is at most a small fraction: pruning a
+        bandwidth-heuristic schedule removes little, because it only
+        moved tokens toward eventual use."""
+        from repro.core.pruning import prune_schedule
+
+        rng = random.Random(9)
+        topo = random_graph(30, rng)
+        problem = receiver_density(topo, 0.3, rng, file_tokens=15)
+        result = run_heuristic(problem, BandwidthHeuristic(), seed=1)
+        assert result.success
+        pruned, stats = prune_schedule(problem, result.schedule)
+        assert stats.total_removed <= 0.25 * result.bandwidth

@@ -1,0 +1,101 @@
+"""Cross-cutting invariants every Section 5.1 heuristic must satisfy."""
+
+import random
+
+import pytest
+
+from repro.core.pruning import prune_schedule
+from repro.heuristics import HEURISTIC_FACTORIES, make_heuristic, standard_heuristics
+from repro.sim import run_heuristic
+from repro.topology import (
+    complete_topology,
+    grid_topology,
+    path_topology,
+    random_graph,
+    star_topology,
+)
+from repro.workloads import single_file
+
+from tests.conftest import make_random_problem
+
+ALL = sorted(HEURISTIC_FACTORIES)
+
+
+def test_factory_names_match_paper():
+    assert ALL == ["bandwidth", "global", "local", "random", "round_robin"]
+
+
+def test_make_heuristic_unknown():
+    with pytest.raises(ValueError, match="unknown heuristic"):
+        make_heuristic("dijkstra")
+
+
+def test_standard_heuristics_fresh_instances():
+    a = standard_heuristics()
+    b = standard_heuristics()
+    assert all(x is not y for x, y in zip(a, b))
+    assert [h.name for h in a] == ["round_robin", "random", "local", "bandwidth", "global"]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestEveryHeuristic:
+    def test_succeeds_on_path_broadcast(self, name):
+        problem = single_file(path_topology(5, capacity=2), file_tokens=3)
+        result = run_heuristic(problem, make_heuristic(name), seed=0)
+        assert result.success
+
+    def test_succeeds_on_star(self, name):
+        problem = single_file(star_topology(6, capacity=2), file_tokens=4)
+        result = run_heuristic(problem, make_heuristic(name), seed=0)
+        assert result.success
+
+    def test_succeeds_on_grid(self, name):
+        problem = single_file(grid_topology(3, 3, capacity=2), file_tokens=4)
+        result = run_heuristic(problem, make_heuristic(name), seed=0)
+        assert result.success
+
+    def test_succeeds_on_complete(self, name):
+        problem = single_file(complete_topology(5, capacity=1), file_tokens=4)
+        result = run_heuristic(problem, make_heuristic(name), seed=0)
+        assert result.success
+
+    def test_succeeds_on_random_instances(self, name):
+        rng = random.Random(50)
+        for _ in range(8):
+            problem = make_random_problem(rng)
+            result = run_heuristic(problem, make_heuristic(name), seed=7)
+            assert result.success, problem
+
+    def test_schedule_valid_and_prunable(self, name):
+        problem = single_file(random_graph(15, random.Random(3)), file_tokens=6)
+        result = run_heuristic(problem, make_heuristic(name), seed=1)
+        assert result.success
+        pruned, _ = prune_schedule(problem, result.schedule)
+        assert pruned.is_successful(problem)
+        assert pruned.bandwidth <= result.bandwidth
+
+    def test_trivial_instance_zero_steps(self, name, trivial_problem):
+        result = run_heuristic(trivial_problem, make_heuristic(name), seed=0)
+        assert result.success
+        assert result.makespan == 0
+
+    def test_makespan_at_least_distance_bound(self, name):
+        from repro.core.bounds import remaining_timesteps
+
+        problem = single_file(path_topology(6, capacity=1), file_tokens=2)
+        result = run_heuristic(problem, make_heuristic(name), seed=0)
+        assert result.success
+        assert result.makespan >= remaining_timesteps(problem)
+
+    def test_bandwidth_at_least_demand(self, name):
+        problem = single_file(star_topology(5, capacity=3), file_tokens=3)
+        result = run_heuristic(problem, make_heuristic(name), seed=0)
+        assert result.success
+        assert result.bandwidth >= problem.total_demand()
+
+    def test_reusable_across_runs(self, name):
+        heuristic = make_heuristic(name)
+        problem = single_file(star_topology(4, capacity=2), file_tokens=2)
+        first = run_heuristic(problem, heuristic, seed=5)
+        second = run_heuristic(problem, heuristic, seed=5)
+        assert first.schedule == second.schedule

@@ -1,0 +1,133 @@
+"""Tests for the LOCD-compliant algorithms, including the Section 4.2
+additive-diameter guarantee of flood-then-optimal."""
+
+import random
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.exact import solve_focd_bnb
+from repro.locd import (
+    FloodThenOptimal,
+    LocalRandom,
+    LocalRarest,
+    LocalRoundRobin,
+    run_local,
+)
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+from tests.conftest import make_random_problem
+
+
+def _bidirectional_problem(rng):
+    """Random instances whose arcs are all symmetric (so gossip reaches
+    everyone and any satisfiable demand completes)."""
+    return make_random_problem(rng)
+
+
+ALGORITHMS = [
+    ("round_robin", LocalRoundRobin),
+    ("random", LocalRandom),
+    ("rarest", LocalRarest),
+    ("flood_greedy", lambda: FloodThenOptimal(planner="greedy")),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALGORITHMS)
+class TestEveryLocalAlgorithm:
+    def test_completes_random_instances(self, name, factory):
+        rng = random.Random(31)
+        for _ in range(5):
+            problem = _bidirectional_problem(rng)
+            result = run_local(problem, factory(), seed=3)
+            assert result.success, (name, problem)
+
+    def test_schedule_valid(self, name, factory):
+        problem = single_file(random_graph(12, random.Random(4)), file_tokens=5)
+        result = run_local(problem, factory(), seed=1)
+        assert result.success
+        assert result.schedule.is_valid(problem)
+
+    def test_deterministic_given_seed(self, name, factory):
+        problem = single_file(random_graph(10, random.Random(6)), file_tokens=4)
+        a = run_local(problem, factory(), seed=9)
+        b = run_local(problem, factory(), seed=9)
+        assert a.schedule == b.schedule
+
+
+class TestFloodThenOptimal:
+    def test_additive_diameter_bound_with_exact_planner(self):
+        """makespan <= gossip diameter + optimal (Section 4.2)."""
+        rng = random.Random(17)
+        for _ in range(5):
+            problem = make_random_problem(rng, max_vertices=5, max_tokens=2)
+            optimum, _ = solve_focd_bnb(problem, max_combinations=500_000)
+            result = run_local(problem, FloodThenOptimal(planner="exact"), seed=0)
+            assert result.success
+            diameter = problem.diameter()
+            assert result.makespan <= diameter + optimum, (
+                problem.to_dict(),
+                result.makespan,
+                diameter,
+                optimum,
+            )
+
+    def test_waits_exactly_the_diameter(self):
+        """No token moves before step D: the flood phase is pure gossip."""
+        p = Problem.build(
+            3,
+            1,
+            [(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 1, 1)],
+            {0: [0]},
+            {2: [0]},
+        )
+        result = run_local(p, FloodThenOptimal(planner="exact"), seed=0)
+        assert result.success
+        diameter = 2
+        for step in result.schedule.steps[:diameter]:
+            assert step.num_moves() == 0
+
+    def test_custom_planner_callable(self):
+        p = Problem.build(
+            2, 1, [(0, 1, 1), (1, 0, 1)], {0: [0]}, {1: [0]}
+        )
+        calls = []
+
+        def planner(problem):
+            calls.append(problem)
+            from repro.exact import solve_focd_bnb as bnb
+
+            return bnb(problem)[1]
+
+        result = run_local(p, FloodThenOptimal(planner=planner), seed=0)
+        assert result.success
+        assert calls  # planner actually consulted
+
+    def test_unknown_planner_rejected(self):
+        p = Problem.build(2, 1, [(0, 1, 1), (1, 0, 1)], {0: [0]}, {1: [0]})
+        with pytest.raises(ValueError, match="unknown planner"):
+            run_local(p, FloodThenOptimal(planner="magic"), seed=0)
+
+    def test_greedy_planner_scales_past_exact(self):
+        problem = single_file(random_graph(15, random.Random(5)), file_tokens=6)
+        result = run_local(problem, FloodThenOptimal(planner="greedy"), seed=0)
+        assert result.success
+
+
+class TestGossipDelayEffects:
+    def test_local_random_uses_stale_knowledge(self):
+        """The LOCD Random may resend a token the peer just received —
+        its knowledge is one gossip round stale — while the idealized
+        simulator version never does.  Both still finish."""
+        problem = single_file(random_graph(10, random.Random(12)), file_tokens=6)
+        locd = run_local(problem, LocalRandom(), seed=2)
+        assert locd.success
+
+        from repro.heuristics import RandomHeuristic
+        from repro.sim import run_heuristic
+
+        ideal = run_heuristic(problem, RandomHeuristic(), seed=2)
+        assert ideal.success
+        # Staleness can only cost extra sends, never correctness.
+        assert locd.makespan >= 1

@@ -1,0 +1,111 @@
+"""Tests for per-vertex knowledge and its gossip dynamics."""
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.locd.knowledge import Knowledge, initial_knowledge
+
+
+@pytest.fixture
+def bipath():
+    """Bidirectional path 0 - 1 - 2 with tokens at the ends."""
+    return Problem.build(
+        3,
+        2,
+        [(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 1, 1)],
+        {0: [0], 2: [1]},
+        {0: [1], 2: [0]},
+    )
+
+
+class TestInitialKnowledge:
+    def test_k0_contents(self, bipath):
+        k = initial_knowledge(bipath, 1)
+        assert k.owner == 1
+        assert k.known_have(1) == EMPTY_TOKENSET
+        assert k.known_want(1) == EMPTY_TOKENSET
+        # All four incident arcs with capacities.
+        assert k.arcs == {(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 1, 1)}
+        assert k.complete_vertices == {1}
+
+    def test_k0_does_not_know_neighbors_state(self, bipath):
+        k = initial_knowledge(bipath, 1)
+        assert k.known_have(0) == EMPTY_TOKENSET
+        assert k.known_want(2) == EMPTY_TOKENSET
+
+    def test_knows_own_have_want(self, bipath):
+        k = initial_knowledge(bipath, 0)
+        assert k.known_have(0) == TokenSet.of(0)
+        assert k.known_want(0) == TokenSet.of(1)
+
+
+class TestMerge:
+    def test_merge_unions_everything(self, bipath):
+        a = initial_knowledge(bipath, 0)
+        b = initial_knowledge(bipath, 1)
+        a.merge_from(b)
+        assert (1, 2, 1) in a.arcs
+        assert a.complete_vertices == {0, 1}
+
+    def test_merge_monotone_possession(self, bipath):
+        a = initial_knowledge(bipath, 0)
+        b = initial_knowledge(bipath, 0)
+        b.have[1] = TokenSet.of(0)
+        a.merge_from(b)
+        a.merge_from(initial_knowledge(bipath, 0))  # re-merging stale info
+        assert a.known_have(1) == TokenSet.of(0)  # never regresses
+
+    def test_record_own_possession(self, bipath):
+        k = initial_knowledge(bipath, 2)
+        k.record_own_possession(TokenSet.of(0))
+        assert k.known_have(2) == TokenSet.of(0, 1)
+
+    def test_snapshot_isolated(self, bipath):
+        k = initial_knowledge(bipath, 0)
+        snap = k.snapshot()
+        k.record_own_possession(TokenSet.of(1))
+        assert snap.known_have(0) == TokenSet.of(0)
+
+
+class TestCompleteness:
+    def test_incomplete_until_gossip_converges(self, bipath):
+        ks = [initial_knowledge(bipath, v) for v in range(3)]
+        assert not any(k.is_topology_complete() for k in ks)
+        # One gossip round: middle vertex hears both ends -> complete.
+        snaps = [k.snapshot() for k in ks]
+        for v in range(3):
+            for u in bipath.neighbors(v):
+                ks[v].merge_from(snaps[u])
+        assert ks[1].is_topology_complete()
+        assert not ks[0].is_topology_complete()  # 0 has not heard of 2's arcs
+        # Second round completes the ends.
+        snaps = [k.snapshot() for k in ks]
+        for v in range(3):
+            for u in bipath.neighbors(v):
+                ks[v].merge_from(snaps[u])
+        assert all(k.is_topology_complete() for k in ks)
+
+    def test_as_problem_none_while_incomplete(self, bipath):
+        k = initial_knowledge(bipath, 0)
+        assert k.as_problem() is None
+
+    def test_as_problem_reconstructs_exactly(self, bipath):
+        ks = [initial_knowledge(bipath, v) for v in range(3)]
+        for _round in range(3):
+            snaps = [k.snapshot() for k in ks]
+            for v in range(3):
+                for u in bipath.neighbors(v):
+                    ks[v].merge_from(snaps[u])
+        rebuilt = [k.as_problem() for k in ks]
+        for r in rebuilt:
+            assert r is not None
+            assert set(r.arcs) == set(bipath.arcs)
+            assert r.have == bipath.have
+            assert r.want == bipath.want
+        # All vertices reconstruct the identical problem.
+        assert rebuilt[0] == rebuilt[1] == rebuilt[2]
+
+    def test_known_vertices(self, bipath):
+        k = initial_knowledge(bipath, 1)
+        assert k.known_vertices() == {0, 1, 2}

@@ -1,0 +1,187 @@
+"""Tests for the Dominating Set <-> FOCD reduction (Theorem 5 / Fig. 7)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.exact import decide_dfocd
+from repro.reductions import (
+    DominatingSetInstance,
+    brute_force_min_dominating_set,
+    extract_dominating_set,
+    greedy_dominating_set,
+    has_dominating_set_via_focd,
+    is_dominating_set,
+    reduce_to_focd,
+)
+
+
+@pytest.fixture
+def p4():
+    """Path on 4 vertices; dominating number 2."""
+    return DominatingSetInstance.build(4, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def star5():
+    """Star with center 0; dominating number 1."""
+    return DominatingSetInstance.build(5, [(0, i) for i in range(1, 5)])
+
+
+class TestInstance:
+    def test_build_normalizes_edges(self):
+        g = DominatingSetInstance.build(3, [(2, 1), (1, 2)])
+        assert g.edges == frozenset({(1, 2)})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DominatingSetInstance.build(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DominatingSetInstance.build(2, [(0, 5)])
+
+    def test_neighbors(self, p4):
+        assert p4.neighbors(1) == {0, 2}
+        assert p4.closed_neighborhood(1) == {0, 1, 2}
+
+
+class TestDsSolvers:
+    def test_is_dominating_set(self, p4):
+        assert is_dominating_set(p4, {1, 2})
+        assert is_dominating_set(p4, {1, 3})
+        assert not is_dominating_set(p4, {0})
+
+    def test_brute_force_path(self, p4):
+        assert len(brute_force_min_dominating_set(p4)) == 2
+
+    def test_brute_force_star(self, star5):
+        assert brute_force_min_dominating_set(star5) == {0}
+
+    def test_brute_force_edgeless(self):
+        g = DominatingSetInstance.build(3, [])
+        assert brute_force_min_dominating_set(g) == {0, 1, 2}
+
+    def test_greedy_always_dominates(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            n = rng.randint(2, 7)
+            edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(u + 1, n)
+                if rng.random() < 0.4
+            ]
+            g = DominatingSetInstance.build(n, edges)
+            assert is_dominating_set(g, greedy_dominating_set(g))
+
+    def test_greedy_at_least_optimal_size(self, p4):
+        assert len(greedy_dominating_set(p4)) >= len(
+            brute_force_min_dominating_set(p4)
+        )
+
+
+class TestReductionStructure:
+    def test_vertex_and_token_counts(self, p4):
+        focd = reduce_to_focd(p4, 2)
+        assert focd.num_vertices == 2 * 4 + 2
+        assert focd.num_tokens == 1 + (4 - 2)
+
+    def test_source_holds_everything(self, p4):
+        focd = reduce_to_focd(p4, 2)
+        assert sorted(focd.have[0]) == list(range(focd.num_tokens))
+
+    def test_wants(self, p4):
+        focd = reduce_to_focd(p4, 2)
+        assert sorted(focd.want[1]) == [1, 2]  # t wants tokens 1..n-k
+        for i in range(4):
+            assert sorted(focd.want[6 + i]) == [0]  # each v'_i wants token 0
+
+    def test_arcs_mirror_graph_edges(self, p4):
+        focd = reduce_to_focd(p4, 2)
+        # Edge (0, 1) in G: arcs v_0 -> v'_1 and v_1 -> v'_0.
+        assert focd.has_arc(2, 7)
+        assert focd.has_arc(3, 6)
+        # Non-edge (0, 3): no cross arc.
+        assert not focd.has_arc(2, 9)
+
+    def test_all_capacities_one(self, p4):
+        focd = reduce_to_focd(p4, 2)
+        assert all(arc.capacity == 1 for arc in focd.arcs)
+
+    def test_k_out_of_range(self, p4):
+        with pytest.raises(ValueError):
+            reduce_to_focd(p4, -1)
+        with pytest.raises(ValueError):
+            reduce_to_focd(p4, 5)
+
+
+class TestEquivalence:
+    def test_path_needs_two(self, p4):
+        assert not has_dominating_set_via_focd(p4, 1)
+        assert has_dominating_set_via_focd(p4, 2)
+
+    def test_star_needs_one(self, star5):
+        assert has_dominating_set_via_focd(star5, 1)
+
+    def test_edgeless_needs_all(self):
+        g = DominatingSetInstance.build(3, [])
+        assert not has_dominating_set_via_focd(g, 2)
+        assert has_dominating_set_via_focd(g, 3)
+
+    def test_k_equals_n_always_true(self, p4):
+        assert has_dominating_set_via_focd(p4, 4)
+
+    def test_k_zero_single_vertex(self):
+        g = DominatingSetInstance.build(1, [])
+        assert not has_dominating_set_via_focd(g, 0)
+        assert has_dominating_set_via_focd(g, 1)
+
+    def test_exhaustive_on_all_3_vertex_graphs(self):
+        all_edges = list(itertools.combinations(range(3), 2))
+        for mask in range(1 << len(all_edges)):
+            edges = [e for i, e in enumerate(all_edges) if mask >> i & 1]
+            g = DominatingSetInstance.build(3, edges)
+            opt = len(brute_force_min_dominating_set(g))
+            for k in range(4):
+                assert has_dominating_set_via_focd(g, k) == (opt <= k), (
+                    edges,
+                    k,
+                )
+
+    def test_random_graphs_match_brute_force(self):
+        rng = random.Random(99)
+        for _ in range(12):
+            n = rng.randint(2, 5)
+            edges = [
+                (u, v)
+                for u in range(n)
+                for v in range(u + 1, n)
+                if rng.random() < 0.5
+            ]
+            g = DominatingSetInstance.build(n, edges)
+            opt = len(brute_force_min_dominating_set(g))
+            assert has_dominating_set_via_focd(g, opt)
+            if opt > 0:
+                assert not has_dominating_set_via_focd(g, opt - 1)
+
+
+class TestWitnessExtraction:
+    def test_extracted_set_dominates(self, p4):
+        schedule = decide_dfocd(reduce_to_focd(p4, 2), 2)
+        witness = extract_dominating_set(p4, 2, schedule)
+        assert is_dominating_set(p4, witness)
+        assert len(witness) <= 2
+
+    def test_rejects_unsuccessful_schedule(self, p4):
+        from repro.core.schedule import Schedule
+
+        with pytest.raises(ValueError, match="does not solve"):
+            extract_dominating_set(p4, 2, Schedule())
+
+    def test_rejects_long_schedule(self, p4):
+        schedule = decide_dfocd(reduce_to_focd(p4, 2), 2)
+        padded = type(schedule)(list(schedule.steps) + [schedule.steps[0]] * 2)
+        with pytest.raises(ValueError, match="at most 2"):
+            extract_dominating_set(p4, 2, padded)

@@ -1,0 +1,62 @@
+"""Tests for the schedule text renderings."""
+
+from repro.core.schedule import Move, Schedule
+from repro.sim.render import possession_timeline, schedule_to_text
+
+
+def _demo_schedule():
+    return Schedule.from_move_lists(
+        [[Move(0, 1, 0)], [], [Move(0, 1, 1), Move(1, 2, 0)], [Move(1, 2, 1)]]
+    )
+
+
+class TestScheduleToText:
+    def test_header_metrics(self, path_problem):
+        text = schedule_to_text(path_problem, _demo_schedule())
+        assert "4 timesteps, 4 moves" in text
+
+    def test_moves_rendered(self, path_problem):
+        text = schedule_to_text(path_problem, _demo_schedule())
+        assert "0->1:t0" in text
+        assert "1->2:t1" in text
+
+    def test_idle_step_marked(self, path_problem):
+        text = schedule_to_text(path_problem, _demo_schedule())
+        assert "(idle)" in text
+
+    def test_satisfied_vertices_starred(self, path_problem):
+        text = schedule_to_text(path_problem, _demo_schedule())
+        assert "2:{0,1}*" in text
+
+    def test_possession_elided_for_big_graphs(self, path_problem):
+        text = schedule_to_text(path_problem, _demo_schedule(), max_vertices=1)
+        assert "holds" not in text
+        assert "0->1:t0" in text
+
+    def test_empty_schedule(self, trivial_problem):
+        text = schedule_to_text(trivial_problem, Schedule())
+        assert "0 timesteps, 0 moves" in text
+
+
+class TestPossessionTimeline:
+    def test_grid_shape(self, path_problem):
+        text = possession_timeline(path_problem, _demo_schedule())
+        lines = text.strip().splitlines()
+        assert len(lines) == 1 + 3  # header + one row per vertex
+        assert lines[0].startswith("vertex")
+        assert "t0" in lines[0] and "t4" in lines[0]
+
+    def test_counts_accumulate(self, path_problem):
+        text = possession_timeline(path_problem, _demo_schedule())
+        row2 = [line for line in text.splitlines() if line.strip().startswith("2")][0]
+        # Vertex 2 goes 0 -> 0 -> 0 -> 1 -> 2 tokens.
+        assert row2.split()[1:] == ["0", "0", "0", "1", "2*"]
+
+    def test_completion_star(self, path_problem):
+        text = possession_timeline(path_problem, _demo_schedule())
+        assert "2*" in text
+
+    def test_vertex_restriction(self, path_problem):
+        text = possession_timeline(path_problem, _demo_schedule(), vertices=[2])
+        lines = text.strip().splitlines()
+        assert len(lines) == 2

@@ -1,0 +1,105 @@
+"""Tests for the named topologies and the Figure 1 gadget."""
+
+import pytest
+
+from repro.exact import min_bandwidth_exact, min_makespan_ilp, solve_eocd_ilp
+from repro.topology import (
+    complete_topology,
+    cycle_topology,
+    figure1_gadget,
+    grid_topology,
+    path_topology,
+    star_topology,
+)
+
+
+class TestPath:
+    def test_structure(self):
+        topo = path_topology(4, capacity=3)
+        assert topo.num_vertices == 4
+        assert topo.num_arcs() == 6  # 3 edges x 2 directions
+        assert all(a.capacity == 3 for a in topo.arcs)
+
+    def test_unidirectional(self):
+        topo = path_topology(3, bidirectional=False)
+        assert topo.num_arcs() == 2
+
+    def test_single_vertex(self):
+        assert path_topology(1).num_arcs() == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            path_topology(0)
+
+
+class TestCycle:
+    def test_structure(self):
+        topo = cycle_topology(5)
+        assert topo.num_arcs() == 10
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_topology(2)
+
+    def test_wraps_around(self):
+        topo = cycle_topology(3, bidirectional=False)
+        arcs = {(a.src, a.dst) for a in topo.arcs}
+        assert arcs == {(0, 1), (1, 2), (2, 0)}
+
+
+class TestStar:
+    def test_structure(self):
+        topo = star_topology(5)
+        assert topo.num_arcs() == 8
+        hubs = {a.src for a in topo.arcs} & {a.dst for a in topo.arcs}
+        assert 0 in hubs
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            star_topology(1)
+
+
+class TestComplete:
+    def test_structure(self):
+        topo = complete_topology(4)
+        assert topo.num_arcs() == 12
+
+    def test_single_vertex(self):
+        assert complete_topology(1).num_arcs() == 0
+
+
+class TestGrid:
+    def test_structure(self):
+        topo = grid_topology(2, 3)
+        assert topo.num_vertices == 6
+        # 2*(rows*(cols-1) + cols*(rows-1)) arcs = 2*(4 + 3) = 14.
+        assert topo.num_arcs() == 14
+
+    def test_row_major_ids(self):
+        topo = grid_topology(2, 2)
+        arcs = {(a.src, a.dst) for a in topo.arcs}
+        assert (0, 1) in arcs and (0, 2) in arcs
+        assert (1, 3) in arcs and (2, 3) in arcs
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_topology(0, 3)
+
+
+class TestFigure1Gadget:
+    def test_caption_numbers_exact(self):
+        """The gadget realizes the paper's caption: min time 2 steps / 6
+        bandwidth; min bandwidth 4 / 3 steps."""
+        problem = figure1_gadget()
+        assert min_makespan_ilp(problem) == 2
+        assert solve_eocd_ilp(problem, 2).bandwidth == 6
+        assert min_bandwidth_exact(problem) == 4
+        sol3 = solve_eocd_ilp(problem, 3)
+        assert sol3.feasible and sol3.bandwidth == 4
+
+    def test_structure(self):
+        problem = figure1_gadget()
+        assert problem.num_vertices == 7
+        assert problem.num_tokens == 1
+        assert problem.holders(0) == [0]
+        assert problem.wanters(0) == [1, 2, 3, 4]

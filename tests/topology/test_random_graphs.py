@@ -1,0 +1,97 @@
+"""Tests for the G(n, 2 ln n / n) random graph generator."""
+
+import math
+import random
+
+import pytest
+
+from repro.topology.random_graphs import paper_edge_probability, random_graph
+from repro.topology.weights import unit_capacity
+
+
+class TestEdgeProbability:
+    def test_formula(self):
+        assert paper_edge_probability(100) == pytest.approx(
+            2 * math.log(100) / 100
+        )
+
+    def test_always_a_probability(self):
+        # 2 ln n / n peaks at 2/e < 1, so no clamping is ever needed, but
+        # the value must stay in [0, 1] for every n.
+        assert all(0.0 <= paper_edge_probability(n) <= 1.0 for n in range(1, 50))
+
+    def test_tiny_graphs(self):
+        assert paper_edge_probability(1) == 0.0
+
+
+class TestGenerator:
+    def test_connected(self):
+        for seed in range(5):
+            topo = random_graph(30, random.Random(seed))
+            # BFS over the symmetric arcs.
+            adj = {v: set() for v in range(30)}
+            for arc in topo.arcs:
+                adj[arc.src].add(arc.dst)
+            seen = {0}
+            stack = [0]
+            while stack:
+                u = stack.pop()
+                for v in adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        stack.append(v)
+            assert len(seen) == 30
+
+    def test_symmetric_arcs(self):
+        topo = random_graph(20, random.Random(1))
+        arcs = {(a.src, a.dst): a.capacity for a in topo.arcs}
+        for (u, v), cap in arcs.items():
+            assert arcs[(v, u)] == cap
+
+    def test_paper_capacity_range(self):
+        topo = random_graph(25, random.Random(2))
+        assert all(3 <= a.capacity <= 15 for a in topo.arcs)
+
+    def test_custom_capacity(self):
+        topo = random_graph(15, random.Random(3), capacity=unit_capacity)
+        assert all(a.capacity == 1 for a in topo.arcs)
+
+    def test_edge_count_order_n_log_n(self):
+        """The paper: the edge count grows as O(n ln n)."""
+        n = 200
+        topo = random_graph(n, random.Random(4))
+        undirected_edges = topo.num_arcs() / 2
+        expected = n * math.log(n)  # E[edges] = C(n,2) * 2 ln n / n ~ n ln n
+        assert 0.5 * expected < undirected_edges < 1.5 * expected
+
+    def test_deterministic_given_rng(self):
+        a = random_graph(20, random.Random(9))
+        b = random_graph(20, random.Random(9))
+        assert a.arcs == b.arcs
+
+    def test_explicit_probability(self):
+        dense = random_graph(10, random.Random(0), p=1.0)
+        assert dense.num_arcs() == 10 * 9
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_graph(10, random.Random(0), p=1.5)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            random_graph(0, random.Random(0))
+
+    def test_disconnected_allowed_when_requested(self):
+        topo = random_graph(
+            10, random.Random(0), p=0.0, require_connected=False
+        )
+        assert topo.num_arcs() == 0
+
+    def test_impossible_connectivity_raises(self):
+        with pytest.raises(RuntimeError, match="connected"):
+            random_graph(10, random.Random(0), p=0.0, max_retries=3)
+
+    def test_single_vertex(self):
+        topo = random_graph(1, random.Random(0))
+        assert topo.num_vertices == 1
+        assert topo.num_arcs() == 0
