@@ -1,0 +1,48 @@
+"""ocdlint — the repo's model-invariant static-analysis layer.
+
+The simulator enforces the Section 3.1 constraints *dynamically*
+(:class:`repro.sim.HeuristicViolation` fires when a heuristic cheats at
+runtime), but a violation is only caught if some test happens to execute
+the offending path.  This package is the static counterpart: a small
+AST-based rule framework plus repo-grounded rules (codes ``OCD001``…)
+that pin down the structural invariants every subsystem relies on —
+seeded randomness, :class:`~repro.core.problem.Problem` immutability,
+deterministic schedule emission, integral timesteps, engine/heuristic
+layering, and typed public surfaces.
+
+Run it as ``python -m repro.checks [paths...]`` (defaults to ``src`` and
+``examples``); the tier-1 test suite runs the same gate over the tree.
+
+Suppressions: append ``# ocdlint: disable=OCD003 -- <justification>`` to
+the offending line, or put ``# ocdlint: disable-file=OCD003`` on its own
+line to silence a code for a whole file.
+"""
+
+from __future__ import annotations
+
+from repro.checks.framework import (
+    Diagnostic,
+    LintContext,
+    Rule,
+    all_rules,
+    package_of,
+    register_rule,
+    run_file,
+    run_paths,
+    run_source,
+)
+
+# Importing the rules module populates the registry as a side effect.
+from repro.checks import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "package_of",
+    "register_rule",
+    "run_file",
+    "run_paths",
+    "run_source",
+]

@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro.checks [paths...]``."""
+
+from repro.checks.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

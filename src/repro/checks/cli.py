@@ -1,0 +1,137 @@
+"""Command-line front ends for the static-analysis layer.
+
+``python -m repro.checks [paths...]`` (or the ``ocdlint`` console script)
+runs the custom AST rules; the ``lint`` console script chains ocdlint
+with ``ruff`` and ``mypy`` when those tools are installed, skipping them
+with a notice when they are not (the container image may not ship them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from typing import List, Optional, Sequence
+
+from repro.checks.framework import all_rules, run_paths
+
+__all__ = ["main", "lint_main"]
+
+DEFAULT_PATHS = ("src", "examples")
+
+#: Packages held to ``mypy --strict`` (the rest run at baseline).
+STRICT_MYPY_PATHS = (
+    "src/repro/core",
+    "src/repro/sim",
+    "src/repro/heuristics",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description="ocdlint: static checks for the OCD model invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src examples)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every registered rule and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines: List[str] = []
+    for rule in all_rules():
+        scope = (
+            ", ".join(sorted(rule.packages)) if rule.packages is not None else "all"
+        )
+        lines.append(f"{rule.code} {rule.name}: {rule.summary}")
+        lines.append(f"    guards : {rule.invariant}")
+        lines.append(f"    scope  : {scope}")
+        if rule.exclude_packages:
+            lines.append(f"    except : {', '.join(sorted(rule.exclude_packages))}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run ocdlint; exit 0 when clean, 1 on diagnostics, 2 on usage errors."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    select = args.select.split(",") if args.select else None
+    try:
+        diagnostics = run_paths(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"ocdlint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": d.path,
+                        "line": d.line,
+                        "col": d.col,
+                        "code": d.code,
+                        "message": d.message,
+                    }
+                    for d in diagnostics
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for diag in diagnostics:
+            print(diag.render())
+    if diagnostics:
+        print(f"ocdlint: {len(diagnostics)} diagnostic(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_tool(name: str, cmd: Sequence[str]) -> Optional[int]:
+    """Run an external tool if installed; None means it was skipped."""
+    if shutil.which(cmd[0]) is None:
+        print(f"lint: {name} not installed, skipped", file=sys.stderr)
+        return None
+    print(f"lint: running {' '.join(cmd)}", file=sys.stderr)
+    return subprocess.run(list(cmd)).returncode
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    """ocdlint + ruff + mypy in one gate (missing tools are skipped)."""
+    failures = 0
+    print("lint: running ocdlint", file=sys.stderr)
+    if main(list(argv) if argv else []) != 0:
+        failures += 1
+    ruff_rc = _run_tool("ruff", ("ruff", "check", "src", "examples", "tests"))
+    if ruff_rc not in (None, 0):
+        failures += 1
+    mypy_rc = _run_tool("mypy", ("mypy", "--strict", *STRICT_MYPY_PATHS))
+    if mypy_rc not in (None, 0):
+        failures += 1
+    baseline_rc = _run_tool("mypy", ("mypy", "src/repro"))
+    if baseline_rc not in (None, 0):
+        failures += 1
+    return 1 if failures else 0

@@ -18,7 +18,7 @@ study that axis on any schedule:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.problem import Problem
 from repro.core.schedule import Schedule
@@ -71,7 +71,7 @@ def jain_index(values: Sequence[float]) -> float:
 class FairnessReport:
     """Schedule-wide fairness summary."""
 
-    per_vertex: tuple
+    per_vertex: Tuple[VertexAccounting, ...]
     upload_jain: float
     participation: float  # fraction of vertices that uploaded anything
     max_upload_share: float  # largest single vertex's share of all uploads

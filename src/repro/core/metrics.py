@@ -15,7 +15,7 @@ keep ``makespan``/``bandwidth`` as the canonical pair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.problem import Problem
 from repro.core.schedule import Schedule
@@ -34,7 +34,7 @@ class ScheduleMetrics:
     max_completion: int
     unsatisfied_vertices: int
 
-    def as_row(self) -> dict:
+    def as_row(self) -> Dict[str, Any]:
         """Flat dict for tabular reports."""
         return {
             "makespan": self.makespan,
@@ -71,7 +71,7 @@ def progress_curve(problem: Problem, schedule: Schedule) -> List[int]:
     valid schedule and reaches 0 exactly when the schedule succeeds.
     """
     history = schedule.replay(problem)
-    curve = []
+    curve: List[int] = []
     for possession in history:
         curve.append(
             sum(

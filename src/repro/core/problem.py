@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
 
@@ -148,7 +148,7 @@ class Problem:
     @classmethod
     def from_networkx(
         cls,
-        graph,
+        graph: Any,
         num_tokens: int,
         have: Mapping[int, Iterable[int]],
         want: Mapping[int, Iterable[int]],
@@ -413,7 +413,7 @@ class Problem:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """Plain-data form suitable for ``json.dump``."""
         return {
             "name": self.name,
@@ -433,7 +433,7 @@ class Problem:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "Problem":
+    def from_dict(cls, data: Mapping[str, Any]) -> "Problem":
         """Inverse of :meth:`to_dict`."""
         return cls.build(
             int(data["num_vertices"]),
@@ -444,9 +444,12 @@ class Problem:
             name=data.get("name", ""),
         )
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export the overlay graph as a ``networkx.DiGraph`` with
-        ``capacity`` edge attributes and ``have``/``want`` node attributes."""
+        ``capacity`` edge attributes and ``have``/``want`` node attributes.
+
+        Typed ``Any`` so networkx stays a lazy, optional import here.
+        """
         import networkx as nx
 
         g = nx.DiGraph()

@@ -14,7 +14,7 @@ verifier used in the NP-completeness argument (Theorem 3) is exactly
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.core.problem import Problem
 from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
@@ -64,7 +64,7 @@ class Timestep:
 
     def moves(self) -> List[Move]:
         """All moves of this timestep, in deterministic order."""
-        out = []
+        out: List[Move] = []
         for (src, dst), tokens in sorted(self.sends.items()):
             for token in tokens:
                 out.append(Move(src, dst, token))
@@ -121,7 +121,7 @@ class Schedule:
 
     def moves(self) -> List[Tuple[int, Move]]:
         """All ``(timestep_index, move)`` pairs in schedule order."""
-        out = []
+        out: List[Tuple[int, Move]] = []
         for i, step in enumerate(self.steps):
             for move in step.moves():
                 out.append((i, move))
@@ -204,7 +204,7 @@ class Schedule:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "steps": [
                 {f"{src},{dst}": sorted(tokens) for (src, dst), tokens in step.sends.items()}
@@ -213,10 +213,10 @@ class Schedule:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "Schedule":
-        steps = []
+    def from_dict(cls, data: Mapping[str, Any]) -> "Schedule":
+        steps: List[Timestep] = []
         for step_data in data["steps"]:
-            sends = {}
+            sends: Dict[Tuple[int, int], TokenSet] = {}
             for arc_key, tokens in step_data.items():
                 src_s, dst_s = arc_key.split(",")
                 sends[(int(src_s), int(dst_s))] = TokenSet.from_iterable(tokens)
@@ -229,7 +229,7 @@ class Schedule:
     def __len__(self) -> int:
         return len(self.steps)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Timestep]:
         return iter(self.steps)
 
     def __getitem__(self, index: int) -> Timestep:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.core.problem import Problem
 from repro.core.schedule import Schedule
 from repro.exact.ilp import min_makespan_ilp, solve_eocd_ilp
 from repro.exact.steiner import min_bandwidth_exact
@@ -36,7 +37,7 @@ class ParetoPoint:
 
 
 def pareto_frontier(
-    problem,
+    problem: Problem,
     max_horizon: Optional[int] = None,
     time_limit: Optional[float] = None,
 ) -> Optional[List[ParetoPoint]]:
@@ -73,7 +74,7 @@ def pareto_frontier(
 
 
 def cheapest_within_factor(
-    problem,
+    problem: Problem,
     factor: float,
     max_horizon: Optional[int] = None,
 ) -> Optional[ParetoPoint]:

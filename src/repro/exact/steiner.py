@@ -202,7 +202,7 @@ def steiner_tree_approx(
         return None
     while remaining:
         dist, parent = _dijkstra_tree(problem, sorted(tree_vertices))
-        reachable = [t for t in remaining if t in dist]
+        reachable = [t for t in sorted(remaining) if t in dist]
         if not reachable:
             return None
         target = min(reachable, key=lambda t: (dist[t], t))

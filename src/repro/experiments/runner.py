@@ -88,12 +88,14 @@ def run_configuration(
         problem = problem_factory(instance_rng)
         bound_bw = remaining_bandwidth(problem)
         bound_ts = remaining_timesteps(problem)
-        for name in heuristics:
+        for h_index, name in enumerate(heuristics):
             heuristic = HEURISTIC_FACTORIES[name]()
+            # h_index, not hash(name): string hashes are per-process
+            # randomized, which made sweep results irreproducible.
             engine = Engine(
                 problem,
                 heuristic,
-                rng=random.Random(base_seed * 31 + trial * 7 + hash(name) % 1000),
+                rng=random.Random(base_seed * 31 + trial * 7 + h_index * 101),
                 max_steps=max_steps,
             )
             result = engine.run()

@@ -37,7 +37,7 @@ from typing import Dict, List, Set, Tuple
 
 from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
 from repro.heuristics.base import Heuristic
-from repro.sim.engine import Proposal, StepContext
+from repro.sim import Proposal, StepContext
 
 __all__ = ["BandwidthHeuristic"]
 
@@ -114,7 +114,7 @@ class BandwidthHeuristic(Heuristic):
             for x in far_needers:
                 if label[x] != -1:
                     relays.add(label[x])
-            for u in relays:
+            for u in sorted(relays):
                 add_pull(u, token)  # case (ii): closest one-hop relay pulls
 
         # Assign pulls to supplying in-arcs, rarest token first.

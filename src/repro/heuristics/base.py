@@ -10,11 +10,11 @@ reused across trials.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import List, Optional, Sequence
 
 from repro.core.problem import Problem
 from repro.core.tokenset import TokenSet
-from repro.sim.engine import Proposal, StepContext
+from repro.sim import Proposal, StepContext
 
 __all__ = ["Heuristic", "sample_tokens", "rarity_order"]
 
@@ -24,17 +24,38 @@ class Heuristic:
 
     Subclasses override :meth:`propose`, and :meth:`on_reset` for any
     per-run precomputation.
+
+    Determinism contract (ocdlint OCD001): all randomness flows through
+    :attr:`rng`, which defaults to a *seeded* ``random.Random(0)`` so a
+    heuristic used before :meth:`reset` can never silently produce
+    nondeterministic schedules.  :attr:`problem` raises before the first
+    :meth:`reset` — there is no instance to consult until then.
     """
 
-    name = "base"
+    name: str = "base"
 
     def __init__(self) -> None:
-        self.problem: Problem | None = None
-        self.rng: random.Random | None = None
+        self._problem: Optional[Problem] = None
+        self._rng: random.Random = random.Random(0)
+
+    @property
+    def problem(self) -> Problem:
+        """The instance of the current run; raises before :meth:`reset`."""
+        if self._problem is None:
+            raise RuntimeError(
+                f"heuristic {self.name!r} used before reset(); the engine "
+                f"calls reset(problem, rng) at the start of every run"
+            )
+        return self._problem
+
+    @property
+    def rng(self) -> random.Random:
+        """The injected randomness source (seeded default before reset)."""
+        return self._rng
 
     def reset(self, problem: Problem, rng: random.Random) -> None:
-        self.problem = problem
-        self.rng = rng
+        self._problem = problem
+        self._rng = rng
         self.on_reset()
 
     def on_reset(self) -> None:
@@ -56,7 +77,7 @@ def sample_tokens(tokens: TokenSet, count: int, rng: random.Random) -> TokenSet:
 
 
 def rarity_order(
-    tokens: TokenSet, holder_counts, rng: random.Random
+    tokens: TokenSet, holder_counts: Sequence[int], rng: random.Random
 ) -> List[int]:
     """Members of ``tokens`` ordered rarest first, random tie-break.
 

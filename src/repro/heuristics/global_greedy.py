@@ -23,7 +23,7 @@ from typing import Dict, List, Tuple
 
 from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
 from repro.heuristics.base import Heuristic
-from repro.sim.engine import Proposal, StepContext
+from repro.sim import Proposal, StepContext
 
 __all__ = ["GlobalGreedyHeuristic"]
 

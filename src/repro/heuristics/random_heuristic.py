@@ -18,7 +18,7 @@ from typing import Dict, Tuple
 
 from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic, sample_tokens
-from repro.sim.engine import Proposal, StepContext
+from repro.sim import Proposal, StepContext
 
 __all__ = ["RandomHeuristic"]
 

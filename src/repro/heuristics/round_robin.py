@@ -20,7 +20,7 @@ from typing import Dict, Tuple
 
 from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic
-from repro.sim.engine import Proposal, StepContext
+from repro.sim import Proposal, StepContext
 
 __all__ = ["RoundRobinHeuristic"]
 

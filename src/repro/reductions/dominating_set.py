@@ -82,7 +82,7 @@ class DominatingSetInstance:
 def is_dominating_set(graph: DominatingSetInstance, candidate: Set[int]) -> bool:
     """Whether every vertex is in ``candidate`` or adjacent to it."""
     covered: Set[int] = set()
-    for v in candidate:
+    for v in sorted(candidate):
         covered |= graph.closed_neighborhood(v)
     return len(covered) == graph.num_vertices
 

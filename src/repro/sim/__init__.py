@@ -4,6 +4,7 @@ from repro.sim.engine import (
     Engine,
     HeuristicProtocol,
     HeuristicViolation,
+    Proposal,
     RunResult,
     StallError,
     StepContext,
@@ -15,6 +16,7 @@ __all__ = [
     "Engine",
     "HeuristicProtocol",
     "HeuristicViolation",
+    "Proposal",
     "RunResult",
     "StallError",
     "StepContext",

@@ -26,6 +26,7 @@ from repro.core.schedule import Schedule, Timestep
 from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
 
 __all__ = [
+    "Proposal",
     "StepContext",
     "HeuristicProtocol",
     "HeuristicViolation",

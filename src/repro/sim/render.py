@@ -13,7 +13,7 @@ to inspect as text than as nested token-set dicts.  Two views:
 from __future__ import annotations
 
 import io
-from typing import Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.core.metrics import completion_times
 from repro.core.problem import Problem
@@ -22,7 +22,7 @@ from repro.core.schedule import Schedule
 __all__ = ["schedule_to_text", "possession_timeline"]
 
 
-def _token_label(tokens) -> str:
+def _token_label(tokens: Iterable[int]) -> str:
     return "{" + ",".join(map(str, tokens)) + "}"
 
 
@@ -45,7 +45,7 @@ def schedule_to_text(
     def write_possession(step_index: int) -> None:
         if not show_possession:
             return
-        cells = []
+        cells: List[str] = []
         for v in range(problem.num_vertices):
             held = history[step_index][v]
             satisfied = problem.want[v] <= held
@@ -88,7 +88,7 @@ def possession_timeline(
     )
     out.write(header + "\n")
     for v in vertices:
-        cells = []
+        cells: List[str] = []
         for i, possession in enumerate(history):
             count = len(possession[v])
             mark = "*" if times[v] == i else " "

@@ -1,0 +1,373 @@
+"""Positive and negative fixtures for every ocdlint rule (OCD001–OCD006).
+
+Each fixture is a small source string linted under an impersonated path so
+the rule's package scoping applies exactly as it does on the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List
+
+from repro.checks import run_source
+from repro.checks.framework import Diagnostic
+
+HEUR = "src/repro/heuristics/fake.py"
+SIM = "src/repro/sim/fake.py"
+CORE = "src/repro/core/fake.py"
+EXACT = "src/repro/exact/fake.py"
+TOPO = "src/repro/topology/fake.py"
+EXPERIMENTS = "src/repro/experiments/fake.py"
+
+
+def lint(code: str, path: str = HEUR, select: str | None = None) -> List[Diagnostic]:
+    src = textwrap.dedent(code)
+    diags = run_source(src, path=path)
+    if select is not None:
+        diags = [d for d in diags if d.code == select]
+    return diags
+
+
+def codes(code: str, path: str = HEUR) -> List[str]:
+    return [d.code for d in lint(code, path)]
+
+
+# ======================================================================
+# OCD001 — unseeded-rng
+# ======================================================================
+class TestUnseededRandom:
+    def test_module_level_function_flagged(self):
+        diags = lint("import random\nx = random.random()\n", select="OCD001")
+        assert [d.line for d in diags] == [2]
+
+    def test_from_import_flagged(self):
+        assert codes("from random import choice\n") == ["OCD001"]
+
+    def test_unseeded_random_instance_flagged(self):
+        assert codes("import random\nrng = random.Random()\n") == ["OCD001"]
+
+    def test_bare_unseeded_random_flagged(self):
+        assert codes("from random import Random\nrng = Random()\n") == ["OCD001"]
+
+    def test_system_random_flagged(self):
+        assert codes("import random\nrng = random.SystemRandom()\n") == ["OCD001"]
+
+    def test_seeded_random_ok(self):
+        assert codes("import random\nrng = random.Random(17)\n") == []
+
+    def test_injected_rng_ok(self):
+        src = """
+        def propose(ctx):
+            return ctx.rng.choice([1, 2, 3])
+        """
+        assert codes(src) == []
+
+    def test_out_of_scope_package_ignored(self):
+        assert codes("import random\nx = random.random()\n", path=EXPERIMENTS) == []
+
+    def test_topology_in_scope(self):
+        assert codes("import random\nx = random.random()\n", path=TOPO) == ["OCD001"]
+
+
+# ======================================================================
+# OCD002 — model-mutation
+# ======================================================================
+class TestModelMutation:
+    def test_attribute_assignment_on_annotated_param(self):
+        src = """
+        def tweak(problem: Problem) -> None:
+            problem.num_vertices = 7
+        """
+        assert codes(src) == ["OCD002"]
+
+    def test_self_problem_assignment(self):
+        src = """
+        class H:
+            def on_reset(self) -> None:
+                self.problem.weights = {}
+        """
+        assert codes(src) == ["OCD002"]
+
+    def test_augassign_flagged(self):
+        src = """
+        def tweak(arc: Arc) -> None:
+            arc.capacity += 1
+        """
+        assert codes(src) == ["OCD002"]
+
+    def test_bare_mutator_call_flagged(self):
+        src = """
+        def tweak(tokens: TokenSet) -> None:
+            tokens.add(3)
+        """
+        assert codes(src) == ["OCD002"]
+
+    def test_constructor_bound_name_tracked(self):
+        src = """
+        def build() -> None:
+            p = Problem(num_vertices=3, arcs=[], tokens=2)
+            p.tokens = 5
+        """
+        assert codes(src) == ["OCD002"]
+
+    def test_optional_annotation_tracked(self):
+        src = """
+        def tweak(ctx: "StepContext | None") -> None:
+            ctx.step = 2
+        """
+        assert codes(src) == ["OCD002"]
+
+    def test_reading_attributes_ok(self):
+        src = """
+        def read(problem: Problem) -> int:
+            return problem.num_vertices
+        """
+        assert codes(src) == []
+
+    def test_container_of_model_values_ok(self):
+        src = """
+        def collect(arcs: "List[Arc]") -> None:
+            arcs.append(None)
+        """
+        assert codes(src) == []
+
+    def test_core_package_exempt(self):
+        src = """
+        def _internal(problem: Problem) -> None:
+            problem.cache = {}
+        """
+        assert codes(src, path=CORE) == []
+
+
+# ======================================================================
+# OCD003 — unsorted-set-iteration
+# ======================================================================
+class TestUnsortedSetIteration:
+    def test_for_over_set_literal(self):
+        src = """
+        def emit():
+            for v in {3, 1, 2}:
+                print(v)
+        """
+        assert codes(src) == ["OCD003"]
+
+    def test_for_over_set_call(self):
+        src = """
+        def emit(xs):
+            for v in set(xs):
+                print(v)
+        """
+        assert codes(src) == ["OCD003"]
+
+    def test_comprehension_over_tracked_set_name(self):
+        src = """
+        def emit(xs):
+            relays = {x for x in xs}
+            return [r + 1 for r in relays]
+        """
+        assert codes(src) == ["OCD003"]
+
+    def test_set_typed_parameter_tracked(self):
+        src = """
+        def emit(relays: "Set[int]"):
+            for r in relays:
+                print(r)
+        """
+        assert codes(src) == ["OCD003"]
+
+    def test_set_algebra_flagged(self):
+        src = """
+        def emit(xs):
+            have = set(xs)
+            want = set(xs)
+            for v in want - have:
+                print(v)
+        """
+        assert codes(src) == ["OCD003"]
+
+    def test_sorted_is_ok(self):
+        src = """
+        def emit(xs):
+            relays = set(xs)
+            for r in sorted(relays):
+                print(r)
+        """
+        assert codes(src) == []
+
+    def test_enumerate_sorted_is_ok(self):
+        src = """
+        def emit(xs):
+            for i, r in enumerate(sorted(set(xs))):
+                print(i, r)
+        """
+        assert codes(src) == []
+
+    def test_reassignment_demotes(self):
+        src = """
+        def emit(xs):
+            relays = set(xs)
+            relays = sorted(relays)
+            for r in relays:
+                print(r)
+        """
+        assert codes(src) == []
+
+    def test_no_cross_function_leak(self):
+        src = """
+        def a(xs):
+            edges = set(xs)
+            return sorted(edges)
+
+        def b(edges):
+            for e in edges:
+                print(e)
+        """
+        assert codes(src) == []
+
+    def test_list_iteration_ok(self):
+        src = """
+        def emit(xs):
+            items = list(xs)
+            for v in items:
+                print(v)
+        """
+        assert codes(src) == []
+
+
+# ======================================================================
+# OCD004 — wall-clock-timestep
+# ======================================================================
+class TestWallClockTimestep:
+    def test_time_call_flagged(self):
+        src = """
+        import time
+
+        def run():
+            start = time.perf_counter()
+        """
+        assert codes(src, path=SIM) == ["OCD004"]
+
+    def test_time_from_import_flagged(self):
+        assert codes("from time import monotonic\n", path=SIM) == ["OCD004"]
+
+    def test_datetime_now_flagged(self):
+        src = """
+        from datetime import datetime
+
+        def run():
+            stamp = datetime.now()
+        """
+        assert codes(src, path=SIM) == ["OCD004"]
+
+    def test_float_step_annotation_flagged(self):
+        src = """
+        def advance(step: float) -> None:
+            pass
+        """
+        assert codes(src, path=SIM) == ["OCD004"]
+
+    def test_float_valued_step_assignment_flagged(self):
+        src = """
+        def run(total, n):
+            makespan = total / n
+            return makespan
+        """
+        assert codes(src, path=SIM) == ["OCD004"]
+
+    def test_integer_steps_ok(self):
+        src = """
+        def run(total: int, n: int) -> int:
+            makespan = total // n
+            step: int = 0
+            return makespan + step
+        """
+        assert codes(src, path=SIM) == []
+
+    def test_outside_model_packages_ok(self):
+        src = """
+        import time
+
+        def run():
+            start = time.perf_counter()
+        """
+        assert codes(src, path="src/repro/cli.py") == []
+
+
+# ======================================================================
+# OCD005 — engine-encapsulation
+# ======================================================================
+class TestEngineEncapsulation:
+    def test_import_engine_module_flagged(self):
+        assert codes("import repro.sim.engine\n") == ["OCD005"]
+
+    def test_from_engine_module_flagged(self):
+        assert codes("from repro.sim.engine import StepContext\n") == ["OCD005"]
+
+    def test_driver_names_flagged(self):
+        assert codes("from repro.sim import Engine\n") == ["OCD005"]
+        assert codes("from repro.sim import run_heuristic\n") == ["OCD005"]
+
+    def test_private_name_flagged(self):
+        assert codes("from repro.sim import _validate\n") == ["OCD005"]
+
+    def test_public_surface_ok(self):
+        assert codes("from repro.sim import Proposal, StepContext\n") == []
+
+    def test_only_applies_to_heuristics(self):
+        assert codes("from repro.sim.engine import Engine\n", path=EXPERIMENTS) == []
+
+
+# ======================================================================
+# OCD006 — untyped-public-api
+# ======================================================================
+class TestPublicAnnotation:
+    def test_missing_return_annotation(self):
+        src = """
+        def makespan(schedule: "Schedule"):
+            return len(schedule.steps)
+        """
+        assert codes(src, path=CORE) == ["OCD006"]
+
+    def test_missing_param_annotation(self):
+        src = """
+        def makespan(schedule) -> int:
+            return len(schedule.steps)
+        """
+        assert codes(src, path=CORE) == ["OCD006"]
+
+    def test_method_self_exempt(self):
+        src = """
+        class Schedule:
+            def makespan(self) -> int:
+                return 0
+        """
+        assert codes(src, path=CORE) == []
+
+    def test_method_params_checked(self):
+        src = """
+        class Schedule:
+            def extend(self, moves) -> None:
+                pass
+        """
+        assert codes(src, path=CORE) == ["OCD006"]
+
+    def test_private_functions_exempt(self):
+        src = """
+        def _helper(x):
+            return x
+        """
+        assert codes(src, path=CORE) == []
+
+    def test_fully_annotated_ok(self):
+        src = """
+        def solve(problem: "Problem", limit: int = 10) -> "Schedule":
+            ...
+        """
+        assert codes(src, path=EXACT) == []
+
+    def test_out_of_scope_package_ok(self):
+        src = """
+        def helper(x):
+            return x
+        """
+        assert codes(src, path=HEUR) == []
