@@ -9,6 +9,8 @@ drivers directly for the full-parameter runs recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import hashlib
+import random
 from typing import Dict, List
 
 import pytest
@@ -20,6 +22,19 @@ from repro.experiments.config import Scale
 @pytest.fixture(scope="session")
 def scale() -> Scale:
     return QUICK
+
+
+def bench_rng(label: str) -> random.Random:
+    """One stable RNG per benchmark workload, keyed by a label.
+
+    The benchmark files used to seed ``random.Random`` with ad-hoc
+    literals chosen per file.  Deriving the seed from a sha256 of the
+    workload label keeps every bench instance stable across files and
+    Python versions (the digest, unlike ``hash()``, is unsalted) and
+    makes the seed's provenance greppable.
+    """
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 
 def series_map(result: FigureResult, y: str) -> Dict[str, List[tuple]]:

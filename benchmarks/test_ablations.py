@@ -11,9 +11,8 @@ Each benchmark isolates one mechanism and measures what it buys:
   hottest operation.
 """
 
-import random
-
 import pytest
+from conftest import bench_rng
 
 from repro.core.pruning import _backward_pass, _dedup_pass, prune_schedule
 from repro.core.schedule import Schedule, Timestep
@@ -69,7 +68,7 @@ def test_bnb_bound_pruning_cuts_search(benchmark):
 # ----------------------------------------------------------------------
 @pytest.fixture(scope="module")
 def flood_run():
-    problem = single_file(random_graph(40, random.Random(3)), file_tokens=25)
+    problem = single_file(random_graph(40, bench_rng("ablations/flood")), file_tokens=25)
     result = run_heuristic(problem, RoundRobinHeuristic(), seed=1)
     assert result.success
     return problem, result.schedule
@@ -85,7 +84,7 @@ def test_pruning_dedup_dominates_on_floods(benchmark, flood_run):
 
 def test_pruning_backward_needed_for_sparse_demand(benchmark):
     """With few wanters, the backward sweep (dead relay chains) matters."""
-    rng = random.Random(4)
+    rng = bench_rng("ablations/sparse_demand")
     from repro.workloads import receiver_density
 
     topo = random_graph(40, rng)
@@ -106,7 +105,7 @@ def test_pruning_backward_needed_for_sparse_demand(benchmark):
 def test_rarity_ordering_beats_unordered(benchmark):
     """Local (rarest-first + request subdivision) vs Random (same
     usefulness filter, no ordering/coordination): fewer duplicate sends."""
-    problem = single_file(random_graph(40, random.Random(5)), file_tokens=30)
+    problem = single_file(random_graph(40, bench_rng("ablations/rarity")), file_tokens=30)
 
     def run_local():
         return run_heuristic(problem, LocalRarestHeuristic(), seed=3)
@@ -133,7 +132,7 @@ def test_global_coordination_beats_uncoordinated(benchmark):
 # TokenSet representation.
 # ----------------------------------------------------------------------
 def _mask_difference_workload():
-    rng = random.Random(0)
+    rng = bench_rng("ablations/mask_workload")
     sets = [
         TokenSet.from_iterable(rng.sample(range(200), 100)) for _ in range(64)
     ]
@@ -145,7 +144,7 @@ def _mask_difference_workload():
 
 
 def _frozenset_difference_workload():
-    rng = random.Random(0)
+    rng = bench_rng("ablations/mask_workload")
     sets = [frozenset(rng.sample(range(200), 100)) for _ in range(64)]
     total = 0
     for a in sets:

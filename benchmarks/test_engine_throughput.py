@@ -5,9 +5,8 @@ Reported as moves/second by pytest-benchmark; the assertions only check
 the work was done (throughput numbers are machine-dependent).
 """
 
-import random
-
 import pytest
+from conftest import bench_rng
 
 from repro.heuristics import LocalRarestHeuristic, RandomHeuristic
 from repro.sim import run_heuristic
@@ -17,7 +16,7 @@ from repro.workloads import single_file
 
 @pytest.mark.parametrize("n", [50, 100, 200])
 def test_local_rarest_throughput(benchmark, n):
-    topo = random_graph(n, random.Random(17))
+    topo = random_graph(n, bench_rng("engine_throughput/local_rarest"))
     problem = single_file(topo, file_tokens=50)
 
     result = benchmark.pedantic(
@@ -31,7 +30,7 @@ def test_local_rarest_throughput(benchmark, n):
 
 
 def test_random_heuristic_throughput(benchmark):
-    topo = random_graph(150, random.Random(18))
+    topo = random_graph(150, bench_rng("engine_throughput/random"))
     problem = single_file(topo, file_tokens=60)
 
     result = benchmark.pedantic(
@@ -45,7 +44,7 @@ def test_random_heuristic_throughput(benchmark):
 
 def test_schedule_validation_throughput(benchmark):
     """The Theorem 3 verifier on a real mid-size schedule."""
-    topo = random_graph(120, random.Random(19))
+    topo = random_graph(120, bench_rng("engine_throughput/validate"))
     problem = single_file(topo, file_tokens=40)
     schedule = run_heuristic(problem, LocalRarestHeuristic(), seed=2).schedule
 

@@ -5,8 +5,9 @@ tail of a randomized distribution is cut, so coded completion is never
 later and typically earlier on bottlenecked topologies.
 """
 
-import random
 import statistics
+
+from conftest import bench_rng
 
 from repro.extensions.coding import make_coded_single_file, run_coded
 from repro.heuristics import make_heuristic
@@ -14,7 +15,7 @@ from repro.topology import path_topology, random_graph
 
 
 def test_coded_completion_never_later(benchmark):
-    topo = random_graph(25, random.Random(13))
+    topo = random_graph(25, bench_rng("ext_coding/overlay"))
     inst = make_coded_single_file(topo, 12, 4)
 
     def coded_run():

@@ -8,7 +8,7 @@ Measures the cost of adversity and the value of clairvoyance:
   strictly wins on the future-outage trap instance.
 """
 
-import random
+from conftest import bench_rng
 
 from repro.core.problem import Problem
 from repro.extensions.dynamic import (
@@ -26,7 +26,7 @@ from repro.workloads import single_file
 
 
 def _instance():
-    topo = random_graph(30, random.Random(11))
+    topo = random_graph(30, bench_rng("ext_dynamic/instance"))
     return single_file(topo, file_tokens=20)
 
 

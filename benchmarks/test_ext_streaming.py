@@ -6,8 +6,9 @@ tradeoff on a shared swarm: in-order (sequential) fetching minimizes
 playback startup delay, rarest-first minimizes overall makespan.
 """
 
-import random
 import statistics
+
+from conftest import bench_rng
 
 from repro.analysis.streaming import streaming_report
 from repro.heuristics import LocalRarestHeuristic, SequentialHeuristic
@@ -17,7 +18,7 @@ from repro.workloads import single_file
 
 
 def _swarm(seed):
-    return single_file(random_graph(30, random.Random(seed)), file_tokens=24)
+    return single_file(random_graph(30, bench_rng(f"ext_streaming/swarm/{seed}")), file_tokens=24)
 
 
 def test_streaming_tradeoff(benchmark):

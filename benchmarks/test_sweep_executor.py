@@ -1,0 +1,75 @@
+"""The sweep executor's operational claims, measured.
+
+BENCH output for the tentpole acceptance criteria: a 4-worker fig2
+sweep is ≥ 2x faster than serial while byte-identical (asserted only on
+machines with ≥ 4 cores; always recorded in ``extra_info``), and a warm
+cache re-run is ≥ 10x faster than the cold run.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments import fig2
+from repro.experiments.config import Scale
+from repro.experiments.sweep import Executor, ExecutorConfig
+
+# A grid heavy enough that fan-out beats pool startup: 16 points.
+BENCH = Scale(
+    name="quick",
+    graph_sizes=(30, 40, 50, 60),
+    file_tokens=30,
+    density_thresholds=(0.0, 0.5, 1.0),
+    medium_n=40,
+    subdivision_tokens=32,
+    file_counts=(1, 2, 4),
+    trials=4,
+)
+
+
+def test_parallel_sweep_speedup(benchmark):
+    started = time.perf_counter()
+    serial = fig2.run(BENCH, executor=Executor())
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: fig2.run(BENCH, executor=Executor(ExecutorConfig(workers=4))),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_s = time.perf_counter() - started
+
+    assert json.dumps(serial.rows, sort_keys=True) == json.dumps(
+        parallel.rows, sort_keys=True
+    )
+    speedup = serial_s / parallel_s
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, f"parallel speedup only {speedup:.2f}x"
+
+
+def test_cache_rerun_speedup(benchmark, tmp_path):
+    config = ExecutorConfig(use_cache=True, cache_dir=str(tmp_path))
+
+    started = time.perf_counter()
+    cold = fig2.run(BENCH, executor=Executor(config))
+    cold_s = time.perf_counter() - started
+
+    warm_executor = Executor(config)
+    started = time.perf_counter()
+    warm = benchmark.pedantic(
+        lambda: fig2.run(BENCH, executor=warm_executor), rounds=1, iterations=1
+    )
+    warm_s = time.perf_counter() - started
+
+    assert json.dumps(cold.rows) == json.dumps(warm.rows)
+    assert all(outcome.cache_hit for outcome in warm_executor.outcomes)
+    speedup = cold_s / warm_s
+    benchmark.extra_info["cold_s"] = round(cold_s, 3)
+    benchmark.extra_info["warm_s"] = round(warm_s, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    assert speedup >= 10.0, f"cache speedup only {speedup:.1f}x"

@@ -8,9 +8,8 @@ Theorem 2 bit encoding, asserting the proofs' bounds hold on the
 artifacts.
 """
 
-import random
-
 import pytest
+from conftest import bench_rng
 
 from repro.reductions import (
     cleanup_schedule,
@@ -28,7 +27,7 @@ from repro.workloads import single_file
 
 @pytest.fixture(scope="module")
 def instance_and_schedule():
-    topo = random_graph(60, random.Random(9))
+    topo = random_graph(60, bench_rng("verifier_scaling/instance"))
     problem = single_file(topo, file_tokens=50)
     result = run_heuristic(problem, LocalRarestHeuristic(), seed=4)
     assert result.success

@@ -61,6 +61,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each experiment's rows to <dir>/<id>.csv",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan sweep points out over N worker processes (default: serial; "
+        "output is bit-identical either way)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed result cache",
+    )
+    run.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every point even when a cached result exists",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache root (default results/cache, or $REPRO_CACHE_DIR)",
+    )
+    run.add_argument(
+        "--telemetry",
+        default=None,
+        help="append per-point telemetry JSONL here "
+        "(default <cache-dir>/telemetry.jsonl)",
+    )
 
     generate = sub.add_parser(
         "generate", help="generate a random OCD instance as JSON"
@@ -121,7 +149,16 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro.experiments import ALL_EXPERIMENTS, PAPER, QUICK
+    from dataclasses import replace
+
+    from repro.experiments import (
+        ALL_EXPERIMENTS,
+        PAPER,
+        QUICK,
+        Executor,
+        SweepError,
+        default_executor_config,
+    )
 
     if args.experiment != "all" and args.experiment not in ALL_EXPERIMENTS:
         print(
@@ -131,10 +168,25 @@ def _cmd_run(args) -> int:
         )
         return 2
     scale = PAPER if args.paper_scale else QUICK
+    config = default_executor_config(
+        workers=args.workers,
+        use_cache=False if args.no_cache else None,
+        force=True if args.force else None,
+        cache_dir=args.cache_dir,
+    )
+    if args.telemetry is not None:
+        config = replace(config, telemetry_path=args.telemetry)
+    elif config.use_cache:
+        config = config.with_telemetry_default()
+    executor = Executor(config)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.perf_counter()
-        result = ALL_EXPERIMENTS[name](scale)
+        try:
+            result = ALL_EXPERIMENTS[name](scale, executor=executor)
+        except SweepError as error:
+            print(f"{name} failed:\n{error}", file=sys.stderr)
+            return 1
         elapsed = time.perf_counter() - started
         print(result.to_text())
         print(f"({name} completed in {elapsed:.1f}s at {scale.name} scale)\n")

@@ -1,12 +1,20 @@
 """Drivers that regenerate every figure of the paper's evaluation.
 
-Each ``figN.run(scale)`` returns a :class:`FigureResult` whose rows are
-the figure's series; ``ALL_EXPERIMENTS`` maps experiment ids to drivers
-for the CLI and the benchmark harness.  ``locd`` covers the Theorem 4
-measurements (not a numbered figure).
+Each ``figN.run(scale, executor=...)`` returns a :class:`FigureResult`
+whose rows are the figure's series; ``ALL_EXPERIMENTS`` maps experiment
+ids to drivers for the CLI and the benchmark harness.  ``locd`` covers
+the Theorem 4 measurements (not a numbered figure).
+
+Drivers declare their sweeps as grids of
+:class:`~repro.experiments.sweep.PointSpec` values handed to an
+:class:`~repro.experiments.sweep.Executor` (parallel fan-out, result
+caching, telemetry); calling a driver with no executor runs serially
+with caching off, which reproduces the historical behaviour exactly.
+Importing this package registers every driver's point function, which
+is how spawn-started worker processes find them.
 """
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.experiments import (
     ext_coding,
@@ -22,16 +30,33 @@ from repro.experiments import (
     locd_exp,
     pareto_exp,
 )
-from repro.experiments.config import PAPER, QUICK, Scale, default_scale
+from repro.experiments.config import (
+    PAPER,
+    QUICK,
+    Scale,
+    default_executor_config,
+    default_scale,
+)
 from repro.experiments.report import FigureResult, format_table
 from repro.experiments.runner import (
     SeriesPoint,
     TrialRecord,
     aggregate,
     run_configuration,
+    run_trial,
+)
+from repro.experiments.sweep import (
+    Executor,
+    ExecutorConfig,
+    PointOutcome,
+    PointSpec,
+    SweepError,
+    point_function,
 )
 
-ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], FigureResult]] = {
+ExperimentDriver = Callable[..., FigureResult]
+
+ALL_EXPERIMENTS: Dict[str, ExperimentDriver] = {
     "fig1": fig1.run,
     "fig2": fig2.run,
     "fig3": fig3.run,
@@ -48,14 +73,23 @@ ALL_EXPERIMENTS: Dict[str, Callable[[Optional[Scale]], FigureResult]] = {
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "Executor",
+    "ExecutorConfig",
+    "ExperimentDriver",
     "FigureResult",
     "PAPER",
+    "PointOutcome",
+    "PointSpec",
     "QUICK",
     "Scale",
     "SeriesPoint",
+    "SweepError",
     "TrialRecord",
     "aggregate",
+    "default_executor_config",
     "default_scale",
     "format_table",
+    "point_function",
     "run_configuration",
+    "run_trial",
 ]

@@ -1,19 +1,33 @@
-"""Experiment scales.
+"""Experiment scales and executor defaults.
 
 Every figure driver accepts a :class:`Scale`.  ``PAPER`` is the exact
 parameterization of Section 5 (graphs to 1000 vertices, 200- and
 512-token files, 3 trials); ``QUICK`` preserves every series and the
 shape of every sweep at a size that runs in seconds, and is what the
 benchmarks and CI use.  ``REPRO_PAPER_SCALE=1`` switches the default.
+
+Executor defaults come from the environment so scripts inherit CLI-less
+configuration: ``REPRO_WORKERS`` (process count; <=1 means serial),
+``REPRO_NO_CACHE=1`` (disable the result cache), ``REPRO_FORCE=1``
+(recompute despite cached entries), ``REPRO_CACHE_DIR`` (cache root,
+default ``results/cache``).
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
-__all__ = ["Scale", "QUICK", "PAPER", "default_scale"]
+from repro.experiments.sweep import ExecutorConfig
+
+__all__ = [
+    "Scale",
+    "QUICK",
+    "PAPER",
+    "default_scale",
+    "default_executor_config",
+]
 
 
 @dataclass(frozen=True)
@@ -65,3 +79,39 @@ PAPER = Scale(
 def default_scale() -> Scale:
     """``PAPER`` when ``REPRO_PAPER_SCALE=1`` is set, else ``QUICK``."""
     return PAPER if os.environ.get("REPRO_PAPER_SCALE") == "1" else QUICK
+
+
+def default_executor_config(
+    workers: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    force: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ExecutorConfig:
+    """Executor knobs from the environment, with explicit overrides.
+
+    Arguments that are ``None`` fall back to the ``REPRO_WORKERS`` /
+    ``REPRO_NO_CACHE`` / ``REPRO_FORCE`` / ``REPRO_CACHE_DIR``
+    environment variables, then to the library defaults (serial, cache
+    on — this is the CLI-facing default; programmatic driver calls that
+    construct a bare ``Executor()`` stay cache-free).
+    """
+    if workers is None:
+        try:
+            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        except ValueError:
+            workers = 1
+    if use_cache is None:
+        use_cache = os.environ.get("REPRO_NO_CACHE") != "1"
+    if force is None:
+        force = os.environ.get("REPRO_FORCE") == "1"
+    if cache_dir is None:
+        cache_dir = os.environ.get(
+            "REPRO_CACHE_DIR", os.path.join("results", "cache")
+        )
+    return ExecutorConfig(
+        workers=max(1, workers),
+        use_cache=use_cache,
+        force=force,
+        cache_dir=cache_dir,
+        progress=True,
+    )

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 import random
 import statistics
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.experiments.config import Scale, default_scale
 from repro.experiments.report import FigureResult
+from repro.experiments.sweep import Executor, PointSpec, point_function
 from repro.extensions.coding import (
     make_coded_single_file,
     run_coded,
@@ -35,8 +36,36 @@ from repro.topology import random_graph, unit_capacity
 __all__ = ["run"]
 
 
-def run(scale: Optional[Scale] = None) -> FigureResult:
+@point_function("ext_coding")
+def _point(spec: PointSpec) -> Dict[str, Any]:
+    """One (network, parity, seed) coded run on the shared overlay.
+
+    The overlay is rebuilt from ``spec.seed`` (the scale's base seed),
+    so every point sees the identical topology the serial loop shared.
+    """
+    topo = random_graph(
+        spec.param("n"), random.Random(spec.seed), capacity=unit_capacity
+    )
+    inst = make_coded_single_file(
+        topo, spec.param("data_tokens"), spec.param("parity")
+    )
+    run_seed = spec.param("run_seed")
+    if spec.param("flaky"):
+        conditions = periodic_outages(inst.problem, period=3, down_for=1, seed=7)
+        run_result = run_coded_dynamic(
+            inst, conditions, make_heuristic("random"), seed=run_seed
+        )
+    else:
+        run_result = run_coded(inst, make_heuristic("random"), seed=run_seed)
+    assert run_result.success
+    return {"makespan": run_result.makespan}
+
+
+def run(
+    scale: Optional[Scale] = None, executor: Optional[Executor] = None
+) -> FigureResult:
     scale = scale or default_scale()
+    executor = executor or Executor()
     n = max(15, scale.medium_n // 4)
     data_tokens = max(8, scale.file_tokens // 5)
     seeds = range(scale.trials * 4)
@@ -47,35 +76,45 @@ def run(scale: Optional[Scale] = None) -> FigureResult:
             f"(n={n}, k={data_tokens}, {scale.name} scale)"
         ),
     )
-    topo = random_graph(n, random.Random(scale.base_seed), capacity=unit_capacity)
-    for network, flaky in (("static", False), ("outages 1/3", True)):
-        for parity in (0, data_tokens // 2, data_tokens):
-            inst = make_coded_single_file(topo, data_tokens, parity)
-            times = []
-            for seed in seeds:
-                if flaky:
-                    conditions = periodic_outages(
-                        inst.problem, period=3, down_for=1, seed=7
-                    )
-                    run_result = run_coded_dynamic(
-                        inst, conditions, make_heuristic("random"), seed=seed
-                    )
-                else:
-                    run_result = run_coded(
-                        inst, make_heuristic("random"), seed=seed
-                    )
-                assert run_result.success
-                times.append(run_result.makespan)
-            result.rows.append(
-                {
-                    "network": network,
-                    "data": data_tokens,
-                    "parity": parity,
-                    "mean_completion": round(statistics.fmean(times), 2),
-                    "max_completion": max(times),
-                    "seeds": len(times),
-                }
-            )
+    grid = [
+        (network, flaky, parity)
+        for network, flaky in (("static", False), ("outages 1/3", True))
+        for parity in (0, data_tokens // 2, data_tokens)
+    ]
+    points = [
+        PointSpec.make(
+            "ext_coding",
+            "ext_coding",
+            index,
+            params={
+                "network": network,
+                "flaky": flaky,
+                "parity": parity,
+                "run_seed": seed,
+                "n": n,
+                "data_tokens": data_tokens,
+            },
+            seed=scale.base_seed,
+        )
+        for index, (network, flaky, parity, seed) in enumerate(
+            (nw, fl, p, s) for nw, fl, p in grid for s in seeds
+        )
+    ]
+    outputs = executor.run(points)
+    cursor = 0
+    for network, _flaky, parity in grid:
+        times = [outputs[cursor + s]["makespan"] for s in range(len(seeds))]
+        cursor += len(seeds)
+        result.rows.append(
+            {
+                "network": network,
+                "data": data_tokens,
+                "parity": parity,
+                "mean_completion": round(statistics.fmean(times), 2),
+                "max_completion": max(times),
+                "seeds": len(times),
+            }
+        )
     result.add_note(
         "static loss-free links: parity saves at most the odd duplicate-"
         "collision round; flaky links: parity cuts completion further and "

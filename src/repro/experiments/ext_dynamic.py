@@ -9,11 +9,12 @@ compares the online adaptive runs against the clairvoyant oracle.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.core.problem import Problem
 from repro.experiments.config import Scale, default_scale
 from repro.experiments.report import FigureResult
+from repro.experiments.sweep import Executor, PointSpec, point_function
 from repro.extensions.dynamic import (
     CapacitySchedule,
     constant_conditions,
@@ -30,9 +31,43 @@ __all__ = ["run"]
 
 _HEURISTICS = ("random", "local", "global")
 
+_CONDITIONS: Dict[str, Callable[[Problem, int], CapacitySchedule]] = {
+    "static": lambda p, t: constant_conditions(p),
+    "uptime 3/4": lambda p, t: periodic_outages(p, 4, 1, seed=t),
+    "uptime 1/2": lambda p, t: periodic_outages(p, 2, 1, seed=t),
+    "cross-traffic 50-100%": lambda p, t: random_fluctuations(p, seed=t, low=0.5),
+    "cross-traffic 20-100%": lambda p, t: random_fluctuations(p, seed=t, low=0.2),
+}
+_CONDITION_ORDER = (
+    "static",
+    "uptime 3/4",
+    "uptime 1/2",
+    "cross-traffic 50-100%",
+    "cross-traffic 20-100%",
+)
 
-def run(scale: Optional[Scale] = None) -> FigureResult:
+
+@point_function("ext_dynamic")
+def _point(spec: PointSpec) -> Dict[str, Any]:
+    """One (conditions, heuristic, trial) dynamic run."""
+    trial = spec.param("trial")
+    label = spec.param("conditions")
+    name = spec.param("heuristic")
+    rng = random.Random(spec.seed + trial)
+    problem = single_file(
+        random_graph(spec.param("n"), rng), file_tokens=spec.param("tokens")
+    )
+    conditions = _CONDITIONS[label](problem, trial)
+    run_result = run_dynamic(conditions, make_heuristic(name), seed=trial)
+    assert run_result.success, (label, name)
+    return {"makespan": run_result.makespan}
+
+
+def run(
+    scale: Optional[Scale] = None, executor: Optional[Executor] = None
+) -> FigureResult:
     scale = scale or default_scale()
+    executor = executor or Executor()
     n = max(20, scale.medium_n // 2)
     tokens = max(10, scale.file_tokens // 2)
     trials = scale.trials
@@ -43,26 +78,36 @@ def run(scale: Optional[Scale] = None) -> FigureResult:
             f"(n={n}, m={tokens}, {scale.name} scale)"
         ),
     )
-    conditions_grid = [
-        ("static", lambda p, t: constant_conditions(p)),
-        ("uptime 3/4", lambda p, t: periodic_outages(p, 4, 1, seed=t)),
-        ("uptime 1/2", lambda p, t: periodic_outages(p, 2, 1, seed=t)),
-        ("cross-traffic 50-100%", lambda p, t: random_fluctuations(p, seed=t, low=0.5)),
-        ("cross-traffic 20-100%", lambda p, t: random_fluctuations(p, seed=t, low=0.2)),
+    points = [
+        PointSpec.make(
+            "ext_dynamic",
+            "ext_dynamic",
+            index,
+            params={
+                "conditions": label,
+                "heuristic": name,
+                "trial": trial,
+                "n": n,
+                "tokens": tokens,
+            },
+            seed=scale.base_seed,
+        )
+        for index, (label, name, trial) in enumerate(
+            (c, h, t)
+            for c in _CONDITION_ORDER
+            for h in _HEURISTICS
+            for t in range(trials)
+        )
     ]
-    static_makespans = {}
-    for label, build in conditions_grid:
+    outputs = executor.run(points)
+    static_makespans: Dict[str, float] = {}
+    cursor = 0
+    for label in _CONDITION_ORDER:
         for name in _HEURISTICS:
-            makespans = []
-            for trial in range(trials):
-                rng = random.Random(scale.base_seed + trial)
-                problem = single_file(random_graph(n, rng), file_tokens=tokens)
-                conditions = build(problem, trial)
-                run_result = run_dynamic(
-                    conditions, make_heuristic(name), seed=trial
-                )
-                assert run_result.success, (label, name)
-                makespans.append(run_result.makespan)
+            makespans = [
+                outputs[cursor + t]["makespan"] for t in range(trials)
+            ]
+            cursor += trials
             mean = sum(makespans) / len(makespans)
             if label == "static":
                 static_makespans[name] = mean

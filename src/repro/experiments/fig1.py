@@ -8,12 +8,11 @@ the minimum-bandwidth schedule uses 4 units but takes 3 timesteps.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
-from repro.exact import min_bandwidth_exact, min_makespan_ilp, solve_eocd_ilp
-from repro.experiments.config import Scale, default_scale
+from repro.experiments.config import Scale
 from repro.experiments.report import FigureResult
-from repro.topology import figure1_gadget
+from repro.experiments.sweep import Executor, PointSpec, point_function
 
 __all__ = ["run"]
 
@@ -25,14 +24,14 @@ PAPER_NUMBERS = {
 }
 
 
-def run(scale: Optional[Scale] = None) -> FigureResult:
-    """Compute both optima exactly and compare with the caption."""
-    del scale  # the gadget is fixed-size; scale does not apply
+@point_function("fig1")
+def _point(spec: PointSpec) -> Dict[str, Any]:
+    """Solve both optima exactly on the fixed gadget."""
+    from repro.exact import min_bandwidth_exact, min_makespan_ilp, solve_eocd_ilp
+    from repro.topology import figure1_gadget
+
+    del spec  # the gadget is fixed; nothing varies
     problem = figure1_gadget()
-    result = FigureResult(
-        figure="fig1",
-        title="time/bandwidth tension on the Figure 1 gadget",
-    )
     tau_star = min_makespan_ilp(problem)
     assert tau_star is not None, "the gadget is satisfiable by construction"
     fastest = solve_eocd_ilp(problem, tau_star)
@@ -45,13 +44,25 @@ def run(scale: Optional[Scale] = None) -> FigureResult:
         if sol.feasible and sol.bandwidth == cheapest_bw:
             break
         horizon += 1
-
-    measured = {
+    return {
         "min_time_steps": tau_star,
         "min_time_bandwidth": fastest.bandwidth,
         "min_bandwidth": cheapest_bw,
         "min_bandwidth_steps": horizon,
     }
+
+
+def run(
+    scale: Optional[Scale] = None, executor: Optional[Executor] = None
+) -> FigureResult:
+    """Compute both optima exactly and compare with the caption."""
+    del scale  # the gadget is fixed-size; scale does not apply
+    executor = executor or Executor()
+    result = FigureResult(
+        figure="fig1",
+        title="time/bandwidth tension on the Figure 1 gadget",
+    )
+    (measured,) = executor.run([PointSpec.make("fig1", "fig1", 0)])
     for key, paper_value in PAPER_NUMBERS.items():
         result.rows.append(
             {

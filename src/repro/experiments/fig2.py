@@ -13,19 +13,42 @@ the shape assertions in the benchmarks check:
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.experiments.config import Scale, default_scale
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import aggregate, run_configuration
+from repro.experiments.runner import (
+    collect_trial_sweep,
+    records_to_dicts,
+    run_trial,
+    trial_grid,
+    trial_stats,
+)
+from repro.experiments.sweep import Executor, PointSpec, point_function
 from repro.topology import random_graph
 from repro.workloads import single_file
 
 __all__ = ["run"]
 
 
-def run(scale: Optional[Scale] = None) -> FigureResult:
+@point_function("fig2")
+def _point(spec: PointSpec) -> Dict[str, Any]:
+    """One trial of one graph size: all heuristics on one random graph."""
+    n = spec.param("n")
+    file_tokens = spec.param("file_tokens")
+
+    def factory(rng: random.Random):
+        return single_file(random_graph(n, rng), file_tokens=file_tokens)
+
+    records = run_trial(factory, spec.seed, spec.param("trial"))
+    return {"records": records_to_dicts(records), "stats": trial_stats(records)}
+
+
+def run(
+    scale: Optional[Scale] = None, executor: Optional[Executor] = None
+) -> FigureResult:
     scale = scale or default_scale()
+    executor = executor or Executor()
     result = FigureResult(
         figure="fig2",
         title=(
@@ -33,16 +56,12 @@ def run(scale: Optional[Scale] = None) -> FigureResult:
             f"(m={scale.file_tokens}, trials={scale.trials}, {scale.name} scale)"
         ),
     )
-    for i, n in enumerate(scale.graph_sizes):
-
-        def factory(rng: random.Random, n: int = n):
-            topo = random_graph(n, rng)
-            return single_file(topo, file_tokens=scale.file_tokens)
-
-        records = run_configuration(
-            factory, trials=scale.trials, base_seed=scale.base_seed + i * 1000
-        )
-        for point in aggregate(float(n), records):
-            result.rows.append(point.as_row())
+    configs = [
+        {"n": n, "file_tokens": scale.file_tokens} for n in scale.graph_sizes
+    ]
+    points = trial_grid("fig2", "fig2", configs, scale.trials, scale.base_seed)
+    collect_trial_sweep(
+        executor, points, [float(n) for n in scale.graph_sizes], result
+    )
     result.add_note("x is the vertex count n; edge probability is 2 ln n / n")
     return result

@@ -17,19 +17,44 @@ paper's findings:
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.experiments.config import Scale, default_scale
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import aggregate, run_configuration
+from repro.experiments.runner import (
+    collect_trial_sweep,
+    records_to_dicts,
+    run_trial,
+    trial_grid,
+    trial_stats,
+)
+from repro.experiments.sweep import Executor, PointSpec, point_function
 from repro.topology import random_graph
 from repro.workloads import receiver_density
 
 __all__ = ["run"]
 
 
-def run(scale: Optional[Scale] = None) -> FigureResult:
+@point_function("fig4")
+def _point(spec: PointSpec) -> Dict[str, Any]:
+    """One trial of one density threshold."""
+    n = spec.param("n")
+    threshold = spec.param("threshold")
+    file_tokens = spec.param("file_tokens")
+
+    def factory(rng: random.Random):
+        topo = random_graph(n, rng)
+        return receiver_density(topo, threshold, rng, file_tokens=file_tokens)
+
+    records = run_trial(factory, spec.seed, spec.param("trial"))
+    return {"records": records_to_dicts(records), "stats": trial_stats(records)}
+
+
+def run(
+    scale: Optional[Scale] = None, executor: Optional[Executor] = None
+) -> FigureResult:
     scale = scale or default_scale()
+    executor = executor or Executor()
     n = scale.medium_n
     result = FigureResult(
         figure="fig4",
@@ -38,19 +63,12 @@ def run(scale: Optional[Scale] = None) -> FigureResult:
             f"(n={n}, m={scale.file_tokens}, {scale.name} scale)"
         ),
     )
-    for i, threshold in enumerate(scale.density_thresholds):
-
-        def factory(rng: random.Random, threshold: float = threshold):
-            topo = random_graph(n, rng)
-            return receiver_density(
-                topo, threshold, rng, file_tokens=scale.file_tokens
-            )
-
-        records = run_configuration(
-            factory, trials=scale.trials, base_seed=scale.base_seed + i * 1000
-        )
-        for point in aggregate(threshold, records):
-            result.rows.append(point.as_row())
+    configs = [
+        {"threshold": threshold, "n": n, "file_tokens": scale.file_tokens}
+        for threshold in scale.density_thresholds
+    ]
+    points = trial_grid("fig4", "fig4", configs, scale.trials, scale.base_seed)
+    collect_trial_sweep(executor, points, list(scale.density_thresholds), result)
     result.add_note("x is the want-set score threshold (1.0 = all receivers)")
     result.add_note(
         "threshold 0 leaves no demand: moves/bandwidth are 0 for every heuristic"

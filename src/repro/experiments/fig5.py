@@ -15,44 +15,75 @@ token mass leaving the source is constant across the sweep.  Findings:
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.experiments.config import Scale, default_scale
 from repro.experiments.report import FigureResult
-from repro.experiments.runner import aggregate, run_configuration
+from repro.experiments.runner import (
+    collect_trial_sweep,
+    records_to_dicts,
+    run_trial,
+    trial_grid,
+    trial_stats,
+)
+from repro.experiments.sweep import Executor, PointSpec, point_function
 from repro.topology import random_graph
 from repro.workloads import file_subdivision
 
 __all__ = ["run"]
 
 
-def run(scale: Optional[Scale] = None, multi_sender: bool = False) -> FigureResult:
+@point_function("fig5")
+def _point(spec: PointSpec) -> Dict[str, Any]:
+    """One trial of one file count (serves Figures 5 and 6)."""
+    n = spec.param("n")
+    num_files = spec.param("num_files")
+    total_tokens = spec.param("total_tokens")
+    multi_sender = spec.param("multi_sender")
+
+    def factory(rng: random.Random):
+        topo = random_graph(n, rng)
+        return file_subdivision(
+            topo,
+            num_files,
+            rng=rng,
+            total_tokens=total_tokens,
+            multi_sender=multi_sender,
+        )
+
+    records = run_trial(factory, spec.seed, spec.param("trial"))
+    return {"records": records_to_dicts(records), "stats": trial_stats(records)}
+
+
+def run(
+    scale: Optional[Scale] = None,
+    multi_sender: bool = False,
+    executor: Optional[Executor] = None,
+) -> FigureResult:
     scale = scale or default_scale()
+    executor = executor or Executor()
     n = scale.medium_n
     kind = "multi-sender" if multi_sender else "single-sender"
+    figure = "fig6" if multi_sender else "fig5"
     result = FigureResult(
-        figure="fig6" if multi_sender else "fig5",
+        figure=figure,
         title=(
             f"moves/bandwidth vs number of files, {kind} "
             f"(n={n}, tokens={scale.subdivision_tokens}, {scale.name} scale)"
         ),
     )
-    for i, num_files in enumerate(scale.file_counts):
-
-        def factory(rng: random.Random, num_files: int = num_files):
-            topo = random_graph(n, rng)
-            return file_subdivision(
-                topo,
-                num_files,
-                rng=rng,
-                total_tokens=scale.subdivision_tokens,
-                multi_sender=multi_sender,
-            )
-
-        records = run_configuration(
-            factory, trials=scale.trials, base_seed=scale.base_seed + i * 1000
-        )
-        for point in aggregate(float(num_files), records):
-            result.rows.append(point.as_row())
+    configs = [
+        {
+            "num_files": num_files,
+            "n": n,
+            "total_tokens": scale.subdivision_tokens,
+            "multi_sender": multi_sender,
+        }
+        for num_files in scale.file_counts
+    ]
+    points = trial_grid(figure, "fig5", configs, scale.trials, scale.base_seed)
+    collect_trial_sweep(
+        executor, points, [float(f) for f in scale.file_counts], result
+    )
     result.add_note("x is the number of files the 512-token mass is split into")
     return result

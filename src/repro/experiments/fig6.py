@@ -13,9 +13,12 @@ from typing import Optional
 from repro.experiments.config import Scale
 from repro.experiments.fig5 import run as _run_fig5
 from repro.experiments.report import FigureResult
+from repro.experiments.sweep import Executor
 
 __all__ = ["run"]
 
 
-def run(scale: Optional[Scale] = None) -> FigureResult:
-    return _run_fig5(scale, multi_sender=True)
+def run(
+    scale: Optional[Scale] = None, executor: Optional[Executor] = None
+) -> FigureResult:
+    return _run_fig5(scale, multi_sender=True, executor=executor)

@@ -5,22 +5,21 @@ The paper's Figure 7 illustrates the NP-hardness reduction.  This driver
 minimum dominating set size against the reduction (does the FOCD
 instance admit a 2-step schedule?) for every k, and extracts a
 dominating-set witness from the schedule when one exists.
+
+Graph generation is serial (it is a pure, cheap RNG walk); the per-graph
+equivalence check — brute force plus one decision procedure per k — is
+the expensive part and is one sweep point per graph.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
-from repro.exact import decide_dfocd
 from repro.experiments.config import Scale, default_scale
 from repro.experiments.report import FigureResult
-from repro.reductions import (
-    DominatingSetInstance,
-    brute_force_min_dominating_set,
-    extract_dominating_set,
-    reduce_to_focd,
-)
+from repro.experiments.sweep import Executor, PointSpec, point_function
+from repro.reductions import DominatingSetInstance
 
 __all__ = ["run", "sample_graphs"]
 
@@ -42,38 +41,78 @@ def sample_graphs(
     return graphs
 
 
-def run(scale: Optional[Scale] = None) -> FigureResult:
+@point_function("fig7")
+def _point(spec: PointSpec) -> Dict[str, Any]:
+    """Full equivalence check (every k) for one graph."""
+    from repro.exact import decide_dfocd
+    from repro.reductions import (
+        brute_force_min_dominating_set,
+        extract_dominating_set,
+        reduce_to_focd,
+    )
+
+    graph = DominatingSetInstance.build(
+        spec.param("n"), [tuple(edge) for edge in spec.param("edges")]
+    )
+    index = spec.param("graph")
+    opt = len(brute_force_min_dominating_set(graph))
+    rows: List[Dict[str, Any]] = []
+    mismatches = 0
+    for k in range(graph.num_vertices + 1):
+        expected = opt <= k
+        schedule = decide_dfocd(reduce_to_focd(graph, k), 2)
+        got = schedule is not None
+        witness = ""
+        if got:
+            witness = ",".join(
+                map(str, sorted(extract_dominating_set(graph, k, schedule)))
+            )
+        if expected != got:
+            mismatches += 1
+        rows.append(
+            {
+                "graph": index,
+                "n": graph.num_vertices,
+                "edges": len(graph.edges),
+                "k": k,
+                "ds_opt": opt,
+                "expected": expected,
+                "focd_2step": got,
+                "witness": witness,
+                "match": expected == got,
+            }
+        )
+    return {"rows": rows, "stats": {"mismatches": mismatches, "ds_opt": opt}}
+
+
+def run(
+    scale: Optional[Scale] = None, executor: Optional[Executor] = None
+) -> FigureResult:
     scale = scale or default_scale()
+    executor = executor or Executor()
     count = 20 if scale.name == "quick" else 60
     result = FigureResult(
         figure="fig7",
         title=f"Dominating Set <-> 2-step FOCD equivalence ({count} random graphs)",
     )
     rng = random.Random(scale.base_seed)
+    points = [
+        PointSpec.make(
+            "fig7",
+            "fig7",
+            index,
+            params={
+                "graph": index,
+                "n": graph.num_vertices,
+                "edges": [list(edge) for edge in graph.edges],
+            },
+            seed=scale.base_seed,
+        )
+        for index, graph in enumerate(sample_graphs(rng, count))
+    ]
     mismatches = 0
-    for index, graph in enumerate(sample_graphs(rng, count)):
-        opt = len(brute_force_min_dominating_set(graph))
-        for k in range(graph.num_vertices + 1):
-            expected = opt <= k
-            schedule = decide_dfocd(reduce_to_focd(graph, k), 2)
-            got = schedule is not None
-            witness = ""
-            if got:
-                witness = ",".join(map(str, sorted(extract_dominating_set(graph, k, schedule))))
-            if expected != got:
-                mismatches += 1
-            result.rows.append(
-                {
-                    "graph": index,
-                    "n": graph.num_vertices,
-                    "edges": len(graph.edges),
-                    "k": k,
-                    "ds_opt": opt,
-                    "expected": expected,
-                    "focd_2step": got,
-                    "witness": witness,
-                    "match": expected == got,
-                }
-            )
+    for output in executor.run(points):
+        result.rows.extend(output["rows"])
+        mismatches += output["stats"]["mismatches"]
     result.add_note(f"mismatches: {mismatches} (the theorem predicts 0)")
     return result

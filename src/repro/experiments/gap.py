@@ -10,22 +10,23 @@ Not a paper figure — the paper only compares heuristics against the
 loose §5.1 bounds — but it is the measurement the formulation exists to
 enable, and it quantifies how loose those bounds are (the `bound_gap`
 column: exact optimum / counting bound).
+
+Instance generation is a pure RNG walk and stays serial; each instance's
+exact solve + heuristic runs is one sweep point (the instance itself
+rides in the point params, so the point is self-contained).
 """
 
 from __future__ import annotations
 
 import random
 import statistics
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.core.bounds import remaining_bandwidth, remaining_timesteps
-from repro.core.pruning import prune_schedule
-from repro.exact import min_bandwidth_exact, solve_focd_bnb
-from repro.exact.branch_and_bound import SearchExhausted
+from repro.core.problem import Problem
 from repro.experiments.config import Scale, default_scale
 from repro.experiments.report import FigureResult
+from repro.experiments.sweep import Executor, PointSpec, point_function
 from repro.heuristics import HEURISTIC_FACTORIES
-from repro.sim import run_heuristic
 from repro.topology.generators import (
     adversarial_spread_instance,
     bottleneck_instance,
@@ -49,41 +50,81 @@ def _instances(rng: random.Random, count: int):
             yield adversarial_spread_instance(rng, num_vertices=6, num_tokens=2)
 
 
-def run(scale: Optional[Scale] = None) -> FigureResult:
+@point_function("gap")
+def _point(spec: PointSpec) -> Dict[str, Any]:
+    """Exact optima plus every heuristic's ratios on one instance."""
+    from repro.core.bounds import remaining_bandwidth, remaining_timesteps
+    from repro.core.pruning import prune_schedule
+    from repro.exact import min_bandwidth_exact, solve_focd_bnb
+    from repro.exact.branch_and_bound import SearchExhausted
+    from repro.sim import run_heuristic
+
+    problem = Problem.from_dict(spec.param("problem"))
+    try:
+        exact = solve_focd_bnb(problem, max_combinations=500_000)
+    except SearchExhausted:
+        return {"solved": False}
+    if exact is None:
+        return {"solved": False}
+    optimum_time, _witness = exact
+    optimum_bw = min_bandwidth_exact(problem)
+    if optimum_time == 0 or not optimum_bw:
+        return {"solved": False}
+    time_ratios: Dict[str, float] = {}
+    bw_ratios: Dict[str, float] = {}
+    for name in HEURISTIC_FACTORIES:
+        run_result = run_heuristic(
+            problem, HEURISTIC_FACTORIES[name](), seed=spec.seed
+        )
+        assert run_result.success
+        pruned, _ = prune_schedule(problem, run_result.schedule)
+        time_ratios[name] = run_result.makespan / optimum_time
+        bw_ratios[name] = pruned.bandwidth / optimum_bw
+    return {
+        "solved": True,
+        "time_ratios": time_ratios,
+        "bw_ratios": bw_ratios,
+        "bound_time_gap": optimum_time / max(remaining_timesteps(problem), 1),
+        "bound_bw_gap": optimum_bw / max(remaining_bandwidth(problem), 1),
+        "stats": {"optimum_time": optimum_time, "optimum_bw": optimum_bw},
+    }
+
+
+def run(
+    scale: Optional[Scale] = None, executor: Optional[Executor] = None
+) -> FigureResult:
     scale = scale or default_scale()
+    executor = executor or Executor()
     count = 12 if scale.name == "quick" else 40
     rng = random.Random(scale.base_seed)
     result = FigureResult(
         figure="gap",
         title=f"heuristic optimality gaps over {count} random small instances",
     )
+    points = [
+        PointSpec.make(
+            "gap",
+            "gap",
+            index,
+            params={"instance": index, "problem": problem.to_dict()},
+            seed=scale.base_seed,
+        )
+        for index, problem in enumerate(_instances(rng, count))
+    ]
     time_ratios: Dict[str, List[float]] = {name: [] for name in HEURISTIC_FACTORIES}
     bw_ratios: Dict[str, List[float]] = {name: [] for name in HEURISTIC_FACTORIES}
     bound_time_gaps: List[float] = []
     bound_bw_gaps: List[float] = []
     solved = 0
-    for problem in _instances(rng, count):
-        try:
-            exact = solve_focd_bnb(problem, max_combinations=500_000)
-        except SearchExhausted:
-            continue
-        if exact is None:
-            continue
-        optimum_time, _witness = exact
-        optimum_bw = min_bandwidth_exact(problem)
-        if optimum_time == 0 or not optimum_bw:
+    for output in executor.run(points):
+        if not output["solved"]:
             continue
         solved += 1
-        bound_time_gaps.append(optimum_time / max(remaining_timesteps(problem), 1))
-        bound_bw_gaps.append(optimum_bw / max(remaining_bandwidth(problem), 1))
+        bound_time_gaps.append(output["bound_time_gap"])
+        bound_bw_gaps.append(output["bound_bw_gap"])
         for name in HEURISTIC_FACTORIES:
-            run_result = run_heuristic(
-                problem, HEURISTIC_FACTORIES[name](), seed=scale.base_seed
-            )
-            assert run_result.success
-            pruned, _ = prune_schedule(problem, run_result.schedule)
-            time_ratios[name].append(run_result.makespan / optimum_time)
-            bw_ratios[name].append(pruned.bandwidth / optimum_bw)
+            time_ratios[name].append(output["time_ratios"][name])
+            bw_ratios[name].append(output["bw_ratios"][name])
 
     for name in HEURISTIC_FACTORIES:
         result.rows.append(

@@ -14,24 +14,53 @@ claims this driver checks on the guessing family:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.experiments.config import Scale, default_scale
 from repro.experiments.report import FigureResult
+from repro.experiments.sweep import Executor, PointSpec, point_function
 from repro.locd import (
     FloodThenOptimal,
     LocalRandom,
     LocalRarest,
     LocalRoundRobin,
-    adversarial_ratio,
     deterministic_lower_bound,
 )
 
 __all__ = ["run"]
 
+_ALGORITHMS: Dict[str, Callable[[], Any]] = {
+    "round_robin": LocalRoundRobin,
+    "random": LocalRandom,
+    "rarest": LocalRarest,
+    "flood_then_optimal": lambda: FloodThenOptimal(planner="exact"),
+}
+_ALGORITHM_ORDER = ("round_robin", "random", "rarest", "flood_then_optimal")
 
-def run(scale: Optional[Scale] = None) -> FigureResult:
+
+@point_function("locd")
+def _point(spec: PointSpec) -> Dict[str, Any]:
+    """One algorithm against the adversary at one decoy count."""
+    from repro.locd import adversarial_ratio
+
+    outcome = adversarial_ratio(
+        _ALGORITHMS[spec.param("algorithm")],
+        separation=spec.param("separation"),
+        num_decoys=spec.param("decoys"),
+        seed=spec.seed,
+    )
+    return {
+        "worst_makespan": outcome.worst_makespan,
+        "optimum": outcome.optimum,
+        "ratio": outcome.ratio,
+    }
+
+
+def run(
+    scale: Optional[Scale] = None, executor: Optional[Executor] = None
+) -> FigureResult:
     scale = scale or default_scale()
+    executor = executor or Executor()
     separation = 3
     decoy_counts = (4, 8, 16) if scale.name == "quick" else (4, 8, 16, 32, 64)
     result = FigureResult(
@@ -41,28 +70,36 @@ def run(scale: Optional[Scale] = None) -> FigureResult:
             f"family (separation={separation})"
         ),
     )
-    algorithms = [
-        ("round_robin", LocalRoundRobin),
-        ("random", LocalRandom),
-        ("rarest", LocalRarest),
-        ("flood_then_optimal", lambda: FloodThenOptimal(planner="exact")),
+    points = [
+        PointSpec.make(
+            "locd",
+            "locd",
+            index,
+            params={
+                "decoys": decoys,
+                "algorithm": name,
+                "separation": separation,
+            },
+            seed=scale.base_seed,
+        )
+        for index, (decoys, name) in enumerate(
+            (d, a) for d in decoy_counts for a in _ALGORITHM_ORDER
+        )
     ]
-    for decoys in decoy_counts:
-        lower = deterministic_lower_bound(separation, decoys)
-        for name, factory in algorithms:
-            outcome = adversarial_ratio(
-                factory, separation=separation, num_decoys=decoys, seed=scale.base_seed
-            )
-            result.rows.append(
-                {
-                    "decoys": decoys,
-                    "algorithm": name,
-                    "worst_makespan": outcome.worst_makespan,
-                    "optimum": outcome.optimum,
-                    "ratio": round(outcome.ratio, 3),
-                    "det_lower_bound": round(lower, 3),
-                }
-            )
+    for spec, output in zip(points, executor.run(points)):
+        decoys = spec.param("decoys")
+        result.rows.append(
+            {
+                "decoys": decoys,
+                "algorithm": spec.param("algorithm"),
+                "worst_makespan": output["worst_makespan"],
+                "optimum": output["optimum"],
+                "ratio": round(output["ratio"], 3),
+                "det_lower_bound": round(
+                    deterministic_lower_bound(separation, decoys), 3
+                ),
+            }
+        )
     result.add_note(
         "flooding ratios grow with the decoy count; flood-then-optimal is "
         "pinned at the deterministic lower bound"

@@ -6,20 +6,23 @@ solvers the entire tradeoff is enumerable on small instances: this
 driver computes each instance's time/bandwidth Pareto frontier and
 reports how much bandwidth is saved by allowing 1.5x / 2x the optimal
 makespan.
+
+Each attempt derives its instance from ``Random(base_seed + attempt)``
+(family alternates by attempt index), so attempts are independent sweep
+points; the driver keeps requesting batches until ``count`` frontiers
+succeed, taking successes in attempt order — the reported numbers are
+deterministic regardless of worker count.
 """
 
 from __future__ import annotations
 
 import random
 import statistics
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.exact.branch_and_bound import SearchExhausted
-from repro.exact.pareto import pareto_frontier
 from repro.experiments.config import Scale, default_scale
 from repro.experiments.report import FigureResult
-from repro.topology import figure1_gadget
-from repro.topology.generators import bottleneck_instance, random_instance
+from repro.experiments.sweep import Executor, PointSpec, point_function
 
 __all__ = ["run"]
 
@@ -36,50 +39,102 @@ def _savings_at(frontier, factor: float) -> float:
     return (fastest - cheapest) / fastest
 
 
-def run(scale: Optional[Scale] = None) -> FigureResult:
+@point_function("pareto")
+def _point(spec: PointSpec) -> Dict[str, Any]:
+    """One frontier: the gadget, or one random/bottleneck attempt."""
+    from repro.exact.branch_and_bound import SearchExhausted
+    from repro.exact.pareto import pareto_frontier
+    from repro.topology import figure1_gadget
+    from repro.topology.generators import bottleneck_instance, random_instance
+
+    family = spec.param("family")
+    if family == "gadget":
+        frontier = pareto_frontier(figure1_gadget())
+        return {
+            "ok": True,
+            "frontier": " -> ".join(
+                f"({p.horizon}s,{p.bandwidth}m)" for p in frontier
+            ),
+            "points": len(frontier),
+            "save15": _savings_at(frontier, 1.5),
+            "save20": _savings_at(frontier, 2.0),
+        }
+    rng = random.Random(spec.seed)
+    if family == "random":
+        problem = random_instance(rng, max_vertices=5, max_tokens=2)
+    else:
+        problem = bottleneck_instance(
+            rng, cluster_size=2, num_tokens=2, cluster_capacity=2
+        )
+    try:
+        frontier = pareto_frontier(problem, max_horizon=12)
+    except SearchExhausted:
+        return {"ok": False}
+    if frontier is None or not frontier or frontier[0].horizon == 0:
+        return {"ok": False}
+    return {
+        "ok": True,
+        "points": len(frontier),
+        "save15": _savings_at(frontier, 1.5),
+        "save20": _savings_at(frontier, 2.0),
+    }
+
+
+def run(
+    scale: Optional[Scale] = None, executor: Optional[Executor] = None
+) -> FigureResult:
     scale = scale or default_scale()
+    executor = executor or Executor()
     count = 10 if scale.name == "quick" else 30
-    rng = random.Random(scale.base_seed)
     result = FigureResult(
         figure="pareto",
         title=f"time/bandwidth Pareto frontiers over {count} instances + Figure 1",
     )
     # The canonical example first.
-    gadget_frontier = pareto_frontier(figure1_gadget())
+    (gadget,) = executor.run(
+        [
+            PointSpec.make(
+                "pareto", "pareto", 0, params={"family": "gadget"}, seed=0
+            )
+        ]
+    )
     result.rows.append(
         {
             "instance": "figure1_gadget",
-            "frontier": " -> ".join(
-                f"({p.horizon}s,{p.bandwidth}m)" for p in gadget_frontier
-            ),
-            "points": len(gadget_frontier),
-            "save@1.5x": round(_savings_at(gadget_frontier, 1.5), 3),
-            "save@2x": round(_savings_at(gadget_frontier, 2.0), 3),
+            "frontier": gadget["frontier"],
+            "points": gadget["points"],
+            "save@1.5x": round(gadget["save15"], 3),
+            "save@2x": round(gadget["save20"], 3),
         }
     )
     multi_point = 0
     savings_15: List[float] = []
     savings_20: List[float] = []
     produced = 0
+    attempt = 0
     while produced < count:
-        family = produced % 2
-        if family == 0:
-            problem = random_instance(rng, max_vertices=5, max_tokens=2)
-        else:
-            problem = bottleneck_instance(
-                rng, cluster_size=2, num_tokens=2, cluster_capacity=2
+        batch = [
+            PointSpec.make(
+                "pareto",
+                "pareto",
+                attempt + offset,
+                params={
+                    "family": "random" if (attempt + offset) % 2 == 0 else "bottleneck",
+                    "attempt": attempt + offset,
+                },
+                seed=scale.base_seed + attempt + offset,
             )
-        try:
-            frontier = pareto_frontier(problem, max_horizon=12)
-        except SearchExhausted:
-            continue
-        if frontier is None or not frontier or frontier[0].horizon == 0:
-            continue
-        produced += 1
-        if len(frontier) > 1:
-            multi_point += 1
-        savings_15.append(_savings_at(frontier, 1.5))
-        savings_20.append(_savings_at(frontier, 2.0))
+            for offset in range(count)
+        ]
+        attempt += count
+        for output in executor.run(batch):
+            if not output["ok"] or produced >= count:
+                continue
+            produced += 1
+            if output["points"] > 1:
+                multi_point += 1
+            savings_15.append(output["save15"])
+            savings_20.append(output["save20"])
     result.rows.append(
         {
             "instance": f"{count} random/bottleneck",

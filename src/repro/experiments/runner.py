@@ -5,22 +5,44 @@ threshold, a file count).  For each configuration the runner builds the
 problem per trial, runs every heuristic, prunes its schedule, evaluates
 the paper's lower bounds, and aggregates over trials.  The rows it
 produces are the figures' series.
+
+The unit of execution is one *trial* (:func:`run_trial`): the figure
+drivers declare their sweeps as grids of :class:`~repro.experiments.sweep.PointSpec`
+values — one per (configuration, trial) — and hand them to an
+:class:`~repro.experiments.sweep.Executor`, which may fan them out over
+worker processes and serve repeats from the result cache.  Every seed is
+derived from (base_seed, trial, heuristic index) alone, so a trial's
+records are a pure function of its spec and parallel results are
+bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
 import random
 import statistics
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.bounds import remaining_bandwidth, remaining_timesteps
 from repro.core.problem import Problem
 from repro.core.pruning import prune_schedule
+from repro.experiments.report import FigureResult
+from repro.experiments.sweep import Executor, PointSpec
 from repro.heuristics import HEURISTIC_FACTORIES
 from repro.sim.engine import Engine
 
-__all__ = ["TrialRecord", "SeriesPoint", "run_configuration", "aggregate"]
+__all__ = [
+    "TrialRecord",
+    "SeriesPoint",
+    "run_trial",
+    "run_configuration",
+    "aggregate",
+    "trial_stats",
+    "records_to_dicts",
+    "records_from_dicts",
+    "trial_grid",
+    "collect_trial_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +89,53 @@ class SeriesPoint:
         }
 
 
+def run_trial(
+    problem_factory: Callable[[random.Random], Problem],
+    base_seed: int,
+    trial: int,
+    heuristics: Optional[Sequence[str]] = None,
+    max_steps: Optional[int] = None,
+) -> List[TrialRecord]:
+    """Run every heuristic on one fresh instance — the sweep's pure unit.
+
+    All randomness derives from ``(base_seed, trial, heuristic index)``,
+    so the records are a deterministic function of the arguments and the
+    trial can run in any process, in any order.
+    """
+    if heuristics is None:
+        heuristics = list(HEURISTIC_FACTORIES)
+    instance_rng = random.Random(base_seed + trial)
+    problem = problem_factory(instance_rng)
+    bound_bw = remaining_bandwidth(problem)
+    bound_ts = remaining_timesteps(problem)
+    records: List[TrialRecord] = []
+    for h_index, name in enumerate(heuristics):
+        heuristic = HEURISTIC_FACTORIES[name]()
+        # h_index, not hash(name): string hashes are per-process
+        # randomized, which made sweep results irreproducible.
+        engine = Engine(
+            problem,
+            heuristic,
+            rng=random.Random(base_seed * 31 + trial * 7 + h_index * 101),
+            max_steps=max_steps,
+        )
+        result = engine.run()
+        pruned, _stats = prune_schedule(problem, result.schedule)
+        records.append(
+            TrialRecord(
+                heuristic=name,
+                trial=trial,
+                makespan=result.makespan,
+                bandwidth=result.bandwidth,
+                pruned_bandwidth=pruned.bandwidth,
+                success=result.success,
+                bound_bandwidth=bound_bw,
+                bound_timesteps=bound_ts,
+            )
+        )
+    return records
+
+
 def run_configuration(
     problem_factory: Callable[[random.Random], Problem],
     trials: int,
@@ -80,39 +149,89 @@ def run_configuration(
     fresh topology/score draw (the paper generates several instances per
     size and repeats heuristics per instance; we fold both into trials).
     """
-    if heuristics is None:
-        heuristics = list(HEURISTIC_FACTORIES)
     records: List[TrialRecord] = []
     for trial in range(trials):
-        instance_rng = random.Random(base_seed + trial)
-        problem = problem_factory(instance_rng)
-        bound_bw = remaining_bandwidth(problem)
-        bound_ts = remaining_timesteps(problem)
-        for h_index, name in enumerate(heuristics):
-            heuristic = HEURISTIC_FACTORIES[name]()
-            # h_index, not hash(name): string hashes are per-process
-            # randomized, which made sweep results irreproducible.
-            engine = Engine(
-                problem,
-                heuristic,
-                rng=random.Random(base_seed * 31 + trial * 7 + h_index * 101),
+        records.extend(
+            run_trial(
+                problem_factory,
+                base_seed,
+                trial,
+                heuristics=heuristics,
                 max_steps=max_steps,
             )
-            result = engine.run()
-            pruned, _stats = prune_schedule(problem, result.schedule)
-            records.append(
-                TrialRecord(
-                    heuristic=name,
-                    trial=trial,
-                    makespan=result.makespan,
-                    bandwidth=result.bandwidth,
-                    pruned_bandwidth=pruned.bandwidth,
-                    success=result.success,
-                    bound_bandwidth=bound_bw,
-                    bound_timesteps=bound_ts,
+        )
+    return records
+
+
+def trial_stats(records: Sequence[TrialRecord]) -> Dict[str, int]:
+    """Per-point telemetry summary: total moves/bandwidth over a trial."""
+    return {
+        "moves": sum(r.makespan for r in records),
+        "bandwidth": sum(r.bandwidth for r in records),
+        "timesteps": max((r.makespan for r in records), default=0),
+    }
+
+
+def records_to_dicts(records: Sequence[TrialRecord]) -> List[Dict[str, Any]]:
+    """JSON-able form of trial records for cache/IPC transport."""
+    return [asdict(r) for r in records]
+
+
+def records_from_dicts(rows: Iterable[Mapping[str, Any]]) -> List[TrialRecord]:
+    """Inverse of :func:`records_to_dicts`."""
+    return [TrialRecord(**row) for row in rows]
+
+
+def trial_grid(
+    figure: str,
+    kind: str,
+    configs: Sequence[Mapping[str, Any]],
+    trials: int,
+    base_seed: int,
+) -> List[PointSpec]:
+    """The standard figure grid: one point per (configuration, trial).
+
+    Configuration ``i`` keeps the historical seed derivation
+    ``base_seed + i * 1000``; the trial index rides in the params so the
+    point function can reproduce exactly what the serial loop computed.
+    """
+    points: List[PointSpec] = []
+    for i, params in enumerate(configs):
+        for trial in range(trials):
+            points.append(
+                PointSpec.make(
+                    figure=figure,
+                    kind=kind,
+                    index=len(points),
+                    params={**params, "config": i, "trial": trial},
+                    seed=base_seed + i * 1000,
                 )
             )
-    return records
+    return points
+
+
+def collect_trial_sweep(
+    executor: Executor,
+    points: Sequence[PointSpec],
+    xs: Sequence[float],
+    result: FigureResult,
+) -> None:
+    """Run a trial grid and append aggregated series rows in grid order.
+
+    Results are grouped by configuration index and aggregated exactly as
+    the historical serial loop did, so the emitted rows are byte-identical
+    regardless of worker count or cache state.
+    """
+    outputs = executor.run(points)
+    by_config: Dict[int, List[TrialRecord]] = {}
+    for spec, output in zip(points, outputs):
+        config = int(spec.param("config"))
+        by_config.setdefault(config, []).extend(
+            records_from_dicts(output["records"])
+        )
+    for i, x in enumerate(xs):
+        for point in aggregate(x, by_config.get(i, [])):
+            result.rows.append(point.as_row())
 
 
 def aggregate(x: float, records: Iterable[TrialRecord]) -> List[SeriesPoint]:

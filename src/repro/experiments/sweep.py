@@ -1,0 +1,522 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+Every evaluation artifact in this repository is a grid sweep of
+independent (instance, heuristic, seed) runs.  This module turns those
+sweeps into data: a sweep is a list of :class:`PointSpec` values (one
+per grid point) plus a registered *point function* — a pure, importable
+function mapping a spec to a JSON-able result dict.  The
+:class:`Executor` then owns everything operational about running the
+grid:
+
+* **fan-out** — grid points run on a ``concurrent.futures``
+  ``ProcessPoolExecutor`` when ``workers > 1`` (serial in-process when
+  ``workers <= 1``, the default, so plain driver calls behave exactly
+  as before);
+* **caching** — results are stored content-addressed under
+  ``results/cache/`` keyed by a stable hash of (point kind, params,
+  seed, cache version), so re-running a figure only computes the
+  missing points;
+* **telemetry** — one JSONL line per point (wall time, worker pid,
+  cache hit/miss, retries, point-reported stats) plus a progress line;
+* **failure policy** — a failing point is retried once and then
+  *reported* via :class:`SweepError`; points are never silently
+  dropped.
+
+Parallel output is bit-identical to serial output by construction:
+results are returned in grid order regardless of completion order, and
+every per-point seed is derived from the spec, never from worker state.
+
+Point functions must be module-level (picklable) and must derive all
+randomness from ``spec.seed``/``spec.params``; they are registered with
+the :func:`point_function` decorator and looked up by ``spec.kind``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "PointSpec",
+    "point_function",
+    "resolve_point_function",
+    "PointOutcome",
+    "SweepError",
+    "ExecutorConfig",
+    "Executor",
+]
+
+#: Bump when a change to any point function alters what cached results
+#: mean; every cache key embeds this, so old entries become unreachable
+#: rather than silently wrong.
+CACHE_VERSION = "1"
+
+JsonDict = Dict[str, Any]
+PointFunction = Callable[["PointSpec"], JsonDict]
+
+_MISSING = object()
+
+
+class _FrozenMap(Tuple[Tuple[str, Any], ...]):
+    """Sorted key/value item tuples standing in for a dict param value.
+
+    A distinct type (not a bare tuple) so :func:`_jsonify` can turn the
+    canonical form back into a dict instead of a list of pairs.
+    """
+
+    __slots__ = ()
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (_FrozenMap, (tuple(self),))
+
+
+def _canonical(value: Any) -> Any:
+    """Normalize a params value into a hashable, JSON-stable form.
+
+    Lists become tuples (so specs stay hashable/picklable); dicts become
+    :class:`_FrozenMap` sorted-item tuples.  :func:`_jsonify` inverts
+    both, so the canonical form round-trips through the cache.
+    """
+    if isinstance(value, Mapping):
+        return _FrozenMap(
+            sorted((str(k), _canonical(v)) for k, v in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    raise TypeError(
+        f"sweep point params must be JSON-able scalars/lists/dicts, "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively turn canonical param values back into JSON types."""
+    if isinstance(value, _FrozenMap):
+        return {k: _jsonify(v) for k, v in value}
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One grid point of a sweep.
+
+    ``figure`` labels the sweep for telemetry/progress; ``kind`` selects
+    the registered point function; ``index`` is the point's position in
+    the grid (results are emitted in this order); ``params`` carries the
+    point's JSON-able inputs in canonical sorted-key form; ``seed`` is
+    the point's base seed.  ``kind``/``params``/``seed`` — and nothing
+    else — determine the cache key.
+    """
+
+    figure: str
+    kind: str
+    index: int
+    params: Tuple[Tuple[str, Any], ...]
+    seed: int
+
+    @classmethod
+    def make(
+        cls,
+        figure: str,
+        kind: str,
+        index: int,
+        params: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+    ) -> "PointSpec":
+        items = tuple(
+            sorted((str(k), _canonical(v)) for k, v in (params or {}).items())
+        )
+        return cls(figure=figure, kind=kind, index=index, params=items, seed=seed)
+
+    def param(self, key: str, default: Any = _MISSING) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return _jsonify(v)
+        if default is _MISSING:
+            raise KeyError(f"point {self.kind}[{self.index}] has no param {key!r}")
+        return default
+
+    def params_dict(self) -> Dict[str, Any]:
+        return {k: _jsonify(v) for k, v in self.params}
+
+    def cache_key(self) -> str:
+        """Stable content hash of everything that determines the result."""
+        payload = {
+            "version": CACHE_VERSION,
+            "kind": self.kind,
+            "seed": self.seed,
+            "params": self.params_dict(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Point-function registry
+# ----------------------------------------------------------------------
+
+_POINT_FUNCTIONS: Dict[str, PointFunction] = {}
+
+
+def point_function(kind: str) -> Callable[[PointFunction], PointFunction]:
+    """Register a pure point function under ``kind``.
+
+    The function must be defined at module top level (worker processes
+    re-import it) and must be a deterministic function of its spec.
+    """
+
+    def decorator(fn: PointFunction) -> PointFunction:
+        existing = _POINT_FUNCTIONS.get(kind)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"point kind {kind!r} is already registered")
+        _POINT_FUNCTIONS[kind] = fn
+        return fn
+
+    return decorator
+
+
+def resolve_point_function(kind: str) -> PointFunction:
+    """Look up a point function, importing the driver package if needed.
+
+    Worker processes started with the ``spawn`` method begin with an
+    empty registry; importing :mod:`repro.experiments` pulls in every
+    driver module, which registers its point functions as a side effect.
+    """
+    if kind not in _POINT_FUNCTIONS:
+        import repro.experiments  # noqa: F401  (registers driver point functions)
+    try:
+        return _POINT_FUNCTIONS[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown point kind {kind!r}; registered: "
+            f"{', '.join(sorted(_POINT_FUNCTIONS)) or '(none)'}"
+        ) from None
+
+
+def _compute_point(spec: PointSpec) -> Tuple[JsonDict, float, int]:
+    """Worker entry: run one point, timing it.  Must stay module-level
+    so it is picklable by ProcessPoolExecutor."""
+    started = time.perf_counter()
+    result = resolve_point_function(spec.kind)(spec)
+    if not isinstance(result, dict):
+        raise TypeError(
+            f"point function {spec.kind!r} must return a dict, "
+            f"got {type(result).__name__}"
+        )
+    return result, time.perf_counter() - started, os.getpid()
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Telemetry record for one executed (or cache-served) point."""
+
+    spec: PointSpec
+    cache_hit: bool
+    wall_s: float
+    worker: int
+    retries: int
+    ok: bool
+    error: str = ""
+    stats: Optional[JsonDict] = None
+
+    def as_row(self) -> JsonDict:
+        row: JsonDict = {
+            "figure": self.spec.figure,
+            "kind": self.spec.kind,
+            "index": self.spec.index,
+            "seed": self.spec.seed,
+            "key": self.spec.cache_key(),
+            "cache": "hit" if self.cache_hit else "miss",
+            "wall_s": round(self.wall_s, 6),
+            "worker": self.worker,
+            "retries": self.retries,
+            "ok": self.ok,
+        }
+        if self.error:
+            row["error"] = self.error
+        if self.stats is not None:
+            row["stats"] = self.stats
+        return row
+
+
+class SweepError(RuntimeError):
+    """One or more grid points failed after retrying.
+
+    Carries the failing outcomes so callers can report exactly which
+    points died instead of losing them in a pool traceback.
+    """
+
+    def __init__(self, failures: Sequence[PointOutcome]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} sweep point(s) failed after retry:"]
+        for outcome in self.failures:
+            lines.append(
+                f"  {outcome.spec.figure}/{outcome.spec.kind}"
+                f"[{outcome.spec.index}] seed={outcome.spec.seed}: {outcome.error}"
+            )
+        super().__init__("\n".join(lines))
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Operational knobs for one :class:`Executor`.
+
+    ``workers <= 1`` runs points serially in-process (the default, and
+    what reproduces pre-executor invocations exactly); higher values fan
+    out over a process pool.  Caching is opt-in so programmatic driver
+    calls stay pure; the CLI turns it on.
+    """
+
+    workers: int = 1
+    use_cache: bool = False
+    force: bool = False
+    cache_dir: str = os.path.join("results", "cache")
+    telemetry_path: Optional[str] = None
+    progress: bool = False
+    retries: int = 1
+
+    def with_telemetry_default(self) -> "ExecutorConfig":
+        """Fill in the default telemetry path under the cache dir."""
+        if self.telemetry_path is not None:
+            return self
+        return replace(
+            self, telemetry_path=os.path.join(self.cache_dir, "telemetry.jsonl")
+        )
+
+
+class Executor:
+    """Runs sweeps: fan-out, cache, telemetry, retry, ordered results.
+
+    One executor may run many sweeps; outcomes accumulate on
+    ``self.outcomes`` (and stream to the telemetry JSONL when
+    configured).  ``run`` always returns results in grid order, so a
+    parallel run is byte-identical to a serial one.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExecutorConfig] = None,
+        *,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.config = config or ExecutorConfig()
+        self.outcomes: List[PointOutcome] = []
+        self._stream = stream if stream is not None else sys.stderr
+
+    # -- cache ----------------------------------------------------------
+    def _cache_path(self, key: str) -> str:
+        return os.path.join(self.config.cache_dir, key[:2], f"{key}.json")
+
+    def _cache_load(self, spec: PointSpec) -> Optional[JsonDict]:
+        if not self.config.use_cache or self.config.force:
+            return None
+        path = self._cache_path(spec.cache_key())
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if payload.get("version") != CACHE_VERSION or payload.get("kind") != spec.kind:
+            return None
+        result = payload.get("result")
+        return result if isinstance(result, dict) else None
+
+    def _cache_store(self, spec: PointSpec, result: JsonDict) -> None:
+        if not self.config.use_cache:
+            return
+        key = spec.cache_key()
+        path = self._cache_path(key)
+        payload = {
+            "version": CACHE_VERSION,
+            "kind": spec.kind,
+            "figure": spec.figure,
+            "seed": spec.seed,
+            "params": spec.params_dict(),
+            "result": result,
+        }
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    # -- telemetry ------------------------------------------------------
+    def _emit(self, outcomes: Sequence[PointOutcome]) -> None:
+        self.outcomes.extend(outcomes)
+        path = self.config.telemetry_path
+        if not path:
+            return
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            for outcome in outcomes:
+                handle.write(json.dumps(outcome.as_row(), sort_keys=True) + "\n")
+
+    # -- execution ------------------------------------------------------
+    def _serial_point(
+        self, spec: PointSpec
+    ) -> Tuple[Optional[JsonDict], PointOutcome]:
+        """Compute one point in-process, retrying on failure."""
+        last_error = ""
+        for attempt in range(self.config.retries + 1):
+            try:
+                result, wall_s, worker = _compute_point(spec)
+            except Exception as exc:  # noqa: BLE001 — reported, never dropped
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            return result, PointOutcome(
+                spec=spec,
+                cache_hit=False,
+                wall_s=wall_s,
+                worker=worker,
+                retries=attempt,
+                ok=True,
+                stats=result.get("stats"),
+            )
+        return None, PointOutcome(
+            spec=spec,
+            cache_hit=False,
+            wall_s=0.0,
+            worker=os.getpid(),
+            retries=self.config.retries,
+            ok=False,
+            error=last_error,
+        )
+
+    def _parallel_points(
+        self,
+        specs: Sequence[PointSpec],
+        pending: Sequence[int],
+        results: List[Optional[JsonDict]],
+        outcomes: List[Optional[PointOutcome]],
+    ) -> None:
+        """Fan pending points out over a process pool, retrying failures.
+
+        A failed future is resubmitted once; results land in ``results``
+        by grid index, so completion order never affects output order.
+        """
+        attempts: Dict[int, int] = {i: 0 for i in pending}
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.config.workers
+        ) as pool:
+            futures = {pool.submit(_compute_point, specs[i]): i for i in pending}
+            while futures:
+                done, _ = concurrent.futures.wait(
+                    futures, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    i = futures.pop(future)
+                    try:
+                        result, wall_s, worker = future.result()
+                    except Exception as exc:  # noqa: BLE001
+                        if attempts[i] < self.config.retries:
+                            attempts[i] += 1
+                            futures[pool.submit(_compute_point, specs[i])] = i
+                            continue
+                        outcomes[i] = PointOutcome(
+                            spec=specs[i],
+                            cache_hit=False,
+                            wall_s=0.0,
+                            worker=0,
+                            retries=attempts[i],
+                            ok=False,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                        continue
+                    results[i] = result
+                    outcomes[i] = PointOutcome(
+                        spec=specs[i],
+                        cache_hit=False,
+                        wall_s=wall_s,
+                        worker=worker,
+                        retries=attempts[i],
+                        ok=True,
+                        stats=result.get("stats"),
+                    )
+
+    def run(self, points: Sequence[PointSpec]) -> List[JsonDict]:
+        """Execute a grid; return one result dict per point, in order.
+
+        Cache hits are served without computing; misses run serially or
+        on the pool; results come back ordered by grid position either
+        way.  Raises :class:`SweepError` if any point failed after its
+        retry — partial results are never returned silently.
+        """
+        specs = list(points)
+        started = time.perf_counter()
+        results: List[Optional[JsonDict]] = [None] * len(specs)
+        outcomes: List[Optional[PointOutcome]] = [None] * len(specs)
+
+        pending: List[int] = []
+        for i, spec in enumerate(specs):
+            cached = self._cache_load(spec)
+            if cached is not None:
+                results[i] = cached
+                outcomes[i] = PointOutcome(
+                    spec=spec,
+                    cache_hit=True,
+                    wall_s=0.0,
+                    worker=os.getpid(),
+                    retries=0,
+                    ok=True,
+                    stats=cached.get("stats"),
+                )
+            else:
+                pending.append(i)
+
+        if pending and self.config.workers > 1:
+            self._parallel_points(specs, pending, results, outcomes)
+        else:
+            for i in pending:
+                results[i], outcomes[i] = self._serial_point(specs[i])
+
+        for i in pending:
+            outcome = outcomes[i]
+            result = results[i]
+            if outcome is not None and outcome.ok and result is not None:
+                self._cache_store(specs[i], result)
+
+        final_outcomes = [o for o in outcomes if o is not None]
+        failures = [o for o in final_outcomes if not o.ok]
+        self._emit(final_outcomes)
+        if self.config.progress and specs:
+            hits = sum(1 for o in final_outcomes if o.cache_hit)
+            elapsed = time.perf_counter() - started
+            print(
+                f"[sweep] {specs[0].figure}: {len(specs)} points "
+                f"({hits} cached, {len(specs) - hits} computed, "
+                f"workers={max(1, self.config.workers)}) in {elapsed:.1f}s",
+                file=self._stream,
+            )
+        if failures:
+            raise SweepError(failures)
+        return [result for result in results if result is not None]

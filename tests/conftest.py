@@ -89,6 +89,50 @@ def random_problems() -> List[Problem]:
     return [make_random_problem(rng) for _ in range(20)]
 
 
+def make_instance_family(
+    seed: int, count: int = 30, include_generators: bool = True
+) -> List[Problem]:
+    """A deterministic mixed batch spanning every instance family.
+
+    Rotates through the conftest's generic random instances and the
+    topology generators' random / bottleneck / DAG / adversarial-spread
+    families, so invariant suites see varied shapes (multi-holder,
+    choke-point, acyclic, distance-stressed) from one seed.
+    """
+    from repro.topology.generators import (
+        adversarial_spread_instance,
+        bottleneck_instance,
+        dag_instance,
+        random_instance,
+    )
+
+    rng = random.Random(seed)
+    problems: List[Problem] = []
+    for index in range(count):
+        family = index % 5 if include_generators else 0
+        if family == 0:
+            problems.append(make_random_problem(rng))
+        elif family == 1:
+            problems.append(random_instance(rng, max_vertices=6, max_tokens=3))
+        elif family == 2:
+            problems.append(
+                bottleneck_instance(rng, cluster_size=2, num_tokens=2)
+            )
+        elif family == 3:
+            problems.append(dag_instance(rng, num_vertices=5, num_tokens=2))
+        else:
+            problems.append(
+                adversarial_spread_instance(rng, num_vertices=6, num_tokens=2)
+            )
+    return problems
+
+
+@pytest.fixture(scope="session")
+def instance_family() -> List[Problem]:
+    """The shared ~30-instance batch used by cross-heuristic suites."""
+    return make_instance_family(seed=987, count=30)
+
+
 # ----------------------------------------------------------------------
 # Hypothesis strategies
 # ----------------------------------------------------------------------

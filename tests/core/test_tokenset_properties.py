@@ -1,0 +1,172 @@
+"""Property-based tests: TokenSet algebra against a frozenset oracle.
+
+Every TokenSet operation must agree with the corresponding frozenset
+operation under the member-set interpretation ``set(ts)``.  Masks are
+drawn from two distributions — *sparse* (few members over a wide id
+range) and *dense* (arbitrary 64-bit masks, ~half the bits set) — so
+both the big-int fast paths and the scattered-bit paths get exercised.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+
+sparse_sets = st.builds(
+    TokenSet.from_iterable,
+    st.lists(st.integers(min_value=0, max_value=200), max_size=8),
+)
+dense_sets = st.builds(TokenSet, st.integers(min_value=0, max_value=2**64 - 1))
+token_sets = st.one_of(sparse_sets, dense_sets)
+
+
+def oracle(ts: TokenSet) -> frozenset:
+    return frozenset(ts)
+
+
+# ----------------------------------------------------------------------
+# Binary algebra
+# ----------------------------------------------------------------------
+
+
+@given(token_sets, token_sets)
+def test_union_matches_oracle(a, b):
+    assert oracle(a | b) == oracle(a) | oracle(b)
+    assert oracle(a.union(b)) == oracle(a) | oracle(b)
+
+
+@given(token_sets, token_sets, token_sets)
+def test_variadic_union_and_intersection(a, b, c):
+    assert oracle(a.union(b, c)) == oracle(a) | oracle(b) | oracle(c)
+    assert oracle(a.intersection(b, c)) == oracle(a) & oracle(b) & oracle(c)
+    assert oracle(a.difference(b, c)) == oracle(a) - oracle(b) - oracle(c)
+
+
+@given(token_sets, token_sets)
+def test_intersection_matches_oracle(a, b):
+    assert oracle(a & b) == oracle(a) & oracle(b)
+
+
+@given(token_sets, token_sets)
+def test_difference_matches_oracle(a, b):
+    assert oracle(a - b) == oracle(a) - oracle(b)
+
+
+@given(token_sets, token_sets)
+def test_xor_matches_oracle(a, b):
+    assert oracle(a ^ b) == oracle(a) ^ oracle(b)
+
+
+@given(token_sets, token_sets)
+def test_algebra_identities(a, b):
+    assert (a - b) | (a & b) == a
+    assert (a ^ b) == (a | b) - (a & b)
+    assert (a | b) == (b | a)
+    assert (a & b) == (b & a)
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+
+
+@given(token_sets, token_sets)
+def test_subset_relations_match_oracle(a, b):
+    sa, sb = oracle(a), oracle(b)
+    assert (a <= b) == (sa <= sb)
+    assert (a < b) == (sa < sb)
+    assert (a >= b) == (sa >= sb)
+    assert (a > b) == (sa > sb)
+    assert a.issubset(b) == sa.issubset(sb)
+    assert a.issuperset(b) == sa.issuperset(sb)
+    assert a.isdisjoint(b) == sa.isdisjoint(sb)
+
+
+@given(token_sets)
+def test_reflexive_subset_and_truthiness(a):
+    assert a <= a
+    assert not (a < a)
+    assert bool(a) == bool(oracle(a))
+    assert EMPTY_TOKENSET <= a
+
+
+@given(token_sets, st.integers(min_value=0, max_value=300))
+def test_membership_matches_oracle(a, token):
+    assert (token in a) == (token in oracle(a))
+
+
+# ----------------------------------------------------------------------
+# Popcount, iteration order, extremes
+# ----------------------------------------------------------------------
+
+
+@given(token_sets)
+def test_popcount_matches_oracle(a):
+    assert len(a) == len(oracle(a))
+
+
+@given(token_sets)
+def test_iteration_is_sorted_and_complete(a):
+    members = list(a)
+    assert members == sorted(members)
+    assert len(members) == len(set(members))
+    assert set(members) == oracle(a)
+
+
+@given(token_sets)
+def test_min_max_match_oracle(a):
+    if a:
+        assert a.min() == min(oracle(a))
+        assert a.max() == max(oracle(a))
+    else:
+        for extreme in (a.min, a.max):
+            try:
+                extreme()
+            except ValueError:
+                continue
+            raise AssertionError("empty-set min/max must raise ValueError")
+
+
+@given(token_sets, st.integers(min_value=0, max_value=70))
+def test_take_is_smallest_prefix(a, count):
+    taken = a.take(count)
+    assert oracle(taken) == set(sorted(oracle(a))[:count])
+
+
+# ----------------------------------------------------------------------
+# Element updates and constructors
+# ----------------------------------------------------------------------
+
+
+@given(token_sets, st.integers(min_value=0, max_value=300))
+def test_add_remove_match_oracle(a, token):
+    assert oracle(a.add(token)) == oracle(a) | {token}
+    assert oracle(a.remove(token)) == oracle(a) - {token}
+    # a is immutable: neither call mutated it
+    assert oracle(a) == frozenset(a)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), max_size=12))
+def test_constructors_round_trip(tokens):
+    assert oracle(TokenSet.from_iterable(tokens)) == set(tokens)
+    assert oracle(TokenSet.of(*tokens)) == set(tokens)
+
+
+@given(st.integers(min_value=0, max_value=128))
+def test_full_universe(m):
+    assert oracle(TokenSet.full(m)) == set(range(m))
+
+
+@given(st.integers(min_value=0, max_value=64), st.integers(min_value=0, max_value=64))
+def test_token_range(start, extra):
+    stop = start + extra
+    assert oracle(TokenSet.token_range(start, stop)) == set(range(start, stop))
+
+
+@given(token_sets, token_sets)
+def test_eq_hash_consistency(a, b):
+    assert (a == b) == (oracle(a) == oracle(b))
+    if a == b:
+        assert hash(a) == hash(b)
