@@ -1,0 +1,168 @@
+"""Engine perf harness: incremental kernel vs. frozen reference loop.
+
+Measures moves/second (schedule bandwidth over wall time, best-of-N) for
+the current :class:`repro.sim.Engine` and for the frozen pre-kernel
+implementation in :mod:`repro.sim.reference` on the same workloads as
+``benchmarks/test_engine_throughput.py``, and records both in
+``BENCH_engine.json`` at the repo root.
+
+Because both implementations are timed in the same process on the same
+machine, their *ratio* (the speedup) is machine-independent enough to
+gate in CI: ``--check`` re-measures and fails when any case's speedup
+drops more than 25% below the committed baseline — i.e. someone has
+slowed the incremental path down relative to the known-equivalent
+reference.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/engine_perf.py            # rewrite baseline
+    PYTHONPATH=src python benchmarks/engine_perf.py --check    # CI regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import bench_rng  # noqa: E402
+
+from repro.heuristics import HEURISTIC_FACTORIES  # noqa: E402
+from repro.sim import RunResult, run_heuristic  # noqa: E402
+from repro.sim.reference import (  # noqa: E402
+    make_reference_heuristic,
+    reference_run_heuristic,
+)
+from repro.topology import random_graph  # noqa: E402
+from repro.workloads import single_file  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: The committed speedup may shrink this much before --check fails.
+REGRESSION_TOLERANCE = 0.75
+
+# Same workloads as benchmarks/test_engine_throughput.py.
+CASES: Dict[str, Tuple[str, str, int, int]] = {
+    # case label -> (heuristic, bench_rng label, n vertices, file tokens)
+    "local/n=50": ("local", "engine_throughput/local_rarest", 50, 50),
+    "local/n=100": ("local", "engine_throughput/local_rarest", 100, 50),
+    "local/n=200": ("local", "engine_throughput/local_rarest", 200, 50),
+    "random/n=150": ("random", "engine_throughput/random", 150, 60),
+}
+
+
+def _best_time(fn: Callable[[], RunResult], repeats: int) -> Tuple[float, RunResult]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    assert result is not None
+    return best, result
+
+
+def measure(repeats: int) -> Dict[str, Dict[str, float]]:
+    cases: Dict[str, Dict[str, float]] = {}
+    for label, (name, rng_label, n, file_tokens) in CASES.items():
+        problem = single_file(
+            random_graph(n, bench_rng(rng_label)), file_tokens=file_tokens
+        )
+        t_new, new = _best_time(
+            lambda: run_heuristic(problem, HEURISTIC_FACTORIES[name](), seed=1),
+            repeats,
+        )
+        t_old, old = _best_time(
+            lambda: reference_run_heuristic(
+                problem, make_reference_heuristic(name), seed=1
+            ),
+            repeats,
+        )
+        if old.schedule.bandwidth != new.schedule.bandwidth:
+            raise AssertionError(
+                f"{label}: reference and incremental engines disagree "
+                f"({old.schedule.bandwidth} vs {new.schedule.bandwidth} moves)"
+            )
+        moves = new.schedule.bandwidth
+        cases[label] = {
+            "moves": moves,
+            "timesteps": new.schedule.makespan,
+            "reference_moves_per_sec": round(moves / t_old),
+            "incremental_moves_per_sec": round(moves / t_new),
+            "speedup": round(t_old / t_new, 2),
+        }
+        print(
+            f"{label}: {moves} moves, reference {moves / t_old / 1e3:.0f}k mv/s, "
+            f"incremental {moves / t_new / 1e3:.0f}k mv/s, "
+            f"speedup {t_old / t_new:.2f}x"
+        )
+    return cases
+
+
+def write_baseline(repeats: int) -> None:
+    payload = {
+        "_comment": (
+            "Engine throughput: frozen pre-kernel reference vs. incremental "
+            "SimState engine, best-of-N wall time on identical workloads. "
+            "Regenerate with: PYTHONPATH=src python benchmarks/engine_perf.py"
+        ),
+        "repeats": repeats,
+        "cases": measure(repeats),
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+
+
+def check_against_baseline(repeats: int) -> int:
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run without --check first")
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())["cases"]
+    measured = measure(repeats)
+    failures = []
+    for label, entry in baseline.items():
+        committed = entry["speedup"]
+        observed = measured[label]["speedup"]
+        floor = committed * REGRESSION_TOLERANCE
+        status = "ok" if observed >= floor else "REGRESSION"
+        print(
+            f"{label}: committed {committed:.2f}x, observed {observed:.2f}x, "
+            f"floor {floor:.2f}x -> {status}"
+        )
+        if observed < floor:
+            failures.append(label)
+    if failures:
+        print(f"speedup regression in: {', '.join(failures)}")
+        return 1
+    print("all cases within tolerance")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare a fresh measurement against the committed baseline "
+        f"(fail below {REGRESSION_TOLERANCE:.0%} of the committed speedup)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="best-of-N timing repeats per case (default 5)",
+    )
+    args = parser.parse_args()
+    if args.check:
+        return check_against_baseline(args.repeats)
+    write_baseline(args.repeats)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,3 +50,34 @@ def test_schedule_validation_throughput(benchmark):
 
     history = benchmark(lambda: schedule.validate(problem))
     assert len(history) == schedule.makespan + 1
+
+
+# ----------------------------------------------------------------------
+# Committed perf baseline (BENCH_engine.json, written by engine_perf.py)
+# ----------------------------------------------------------------------
+def _baseline():
+    import json
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    return json.loads(path.read_text())
+
+
+def test_committed_baseline_covers_every_perf_case():
+    """BENCH_engine.json must stay in sync with engine_perf.CASES so the
+    CI regression gate (engine_perf.py --check) exercises all of them."""
+    from engine_perf import CASES
+
+    baseline = _baseline()
+    assert set(baseline["cases"]) == set(CASES)
+    for label, entry in baseline["cases"].items():
+        assert entry["moves"] > 0, label
+        assert entry["incremental_moves_per_sec"] > 0, label
+        assert entry["speedup"] > 0, label
+
+
+def test_committed_speedup_meets_incremental_kernel_target():
+    """The incremental kernel's acceptance bar: >= 3x moves/sec over the
+    frozen pre-kernel reference on the n=200 local-rarest workload."""
+    baseline = _baseline()
+    assert baseline["cases"]["local/n=200"]["speedup"] >= 3.0

@@ -55,6 +55,19 @@ class Timestep:
                     self.sends[arc] = tokens
 
     @classmethod
+    def from_validated(
+        cls, sends: Dict[Tuple[int, int], TokenSet]
+    ) -> "Timestep":
+        """Adopt ``sends`` without copying or re-filtering.
+
+        For engine hot paths that just built a fresh dict of validated,
+        non-empty sends; the caller must not mutate ``sends`` afterwards.
+        """
+        step = cls()
+        step.sends = sends
+        return step
+
+    @classmethod
     def from_moves(cls, moves: Iterable[Move]) -> "Timestep":
         step = cls()
         for move in moves:

@@ -183,18 +183,33 @@ class TokenSet:
         return self.mask.bit_length() - 1
 
     def take(self, count: int) -> "TokenSet":
-        """The ``count`` smallest members (all members if fewer)."""
+        """The ``count`` smallest members (all members if fewer).
+
+        Runs in ``O(log w)`` popcounts of ``w``-bit prefixes instead of
+        ``count`` sequential low-bit extractions: bisect on the prefix
+        length for the shortest truncation of the mask that holds exactly
+        ``count`` set bits.  For a mask of ``w`` machine words this is
+        ``O(w log w)`` word operations total versus ``O(count * w)`` for
+        the extraction loop — the win grows with both the universe size
+        and ``count`` (see ``benchmarks/test_tokenset_take.py``).
+        """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         mask = self.mask
-        taken = 0
-        for _ in range(count):
-            if not mask:
-                break
-            low = mask & -mask
-            taken |= low
-            mask ^= low
-        return TokenSet(taken)
+        if count == 0 or not mask:
+            return EMPTY_TOKENSET
+        if mask.bit_count() <= count:
+            return self
+        # Smallest prefix length whose truncated popcount reaches `count`;
+        # it always ends one past a set bit, so the popcount is exact.
+        lo, hi = 0, mask.bit_length()
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if (mask & ((1 << mid) - 1)).bit_count() < count:
+                lo = mid + 1
+            else:
+                hi = mid
+        return TokenSet(mask & ((1 << lo) - 1))
 
     # ------------------------------------------------------------------
     # Dunder plumbing

@@ -27,15 +27,15 @@ is away — provided by :func:`churn_schedule`.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.problem import Arc, Problem
 from repro.core.schedule import Schedule, Timestep
-from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.core.tokenset import TokenSet
 from repro.sim.engine import HeuristicProtocol, HeuristicViolation, RunResult, StepContext
+from repro.sim.state import SimState
 
 __all__ = [
     "CapacitySchedule",
@@ -193,19 +193,18 @@ class DynamicEngine:
 
     def run(self) -> RunResult:
         base = self.conditions.problem
-        possession: List[TokenSet] = list(base.have)
-        holder_counts = [0] * base.num_tokens
-        for tokens in possession:
-            for t in tokens:
-                holder_counts[t] += 1
+        # The kernel is built on the *base* problem: per-turn graphs share
+        # its have/want vectors and only differ in arcs, which SimState
+        # never consults for state updates.
+        state = SimState(base)
+        possession = state.possession  # live list; read-only here
         steps: List[Timestep] = []
+        predicate = self.success_predicate
 
         def satisfied() -> bool:
-            if self.success_predicate is not None:
-                return self.success_predicate(possession)
-            return all(
-                base.want[v] <= possession[v] for v in range(base.num_vertices)
-            )
+            if predicate is not None:
+                return predicate(possession)
+            return state.satisfied()
 
         success = satisfied()
         reset_for: Optional[Problem] = None
@@ -218,7 +217,12 @@ class DynamicEngine:
                 self.heuristic.reset(current, self.rng)
                 reset_for = current
             ctx = StepContext(
-                current, step_index, tuple(possession), tuple(holder_counts), self.rng
+                current,
+                step_index,
+                possession,
+                state.holder_counts,
+                self.rng,
+                state=state,
             )
             proposal = self.heuristic.propose(ctx)
             sends: Dict[Tuple[int, int], TokenSet] = {}
@@ -241,15 +245,7 @@ class DynamicEngine:
                 sends[(src, dst)] = tokens
             timestep = Timestep(sends)
             steps.append(timestep)
-            arrivals: Dict[int, TokenSet] = {}
-            for (src, dst), tokens in timestep.sends.items():
-                arrivals[dst] = arrivals.get(dst, EMPTY_TOKENSET) | tokens
-            for dst, tokens in arrivals.items():
-                gained = tokens - possession[dst]
-                if gained:
-                    possession[dst] = possession[dst] | gained
-                    for t in gained:
-                        holder_counts[t] += 1
+            state.apply_timestep(timestep)
             success = satisfied()
         return RunResult(
             problem=base,

@@ -28,6 +28,11 @@ Mechanics per timestep, per token ``t`` still needed somewhere:
 3. Each pulling vertex assigns its pulls, rarest token first, to
    in-neighbors that hold them, subject to per-arc capacity budgets.
    Requests that do not fit are retried on later turns.
+
+Wanter lists and per-vertex supplier arrays are precomputed at reset;
+the per-step scans work on raw bitmasks and the supplier ``max`` is an
+explicit loop consuming the RNG exactly as the old ``key=...`` scan did,
+keeping schedules byte-identical to the pre-rewrite implementation.
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Set, Tuple
 
-from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic
 from repro.sim import Proposal, StepContext
 
@@ -46,6 +51,23 @@ class BandwidthHeuristic(Heuristic):
     """Demand-driven cautious pulling; only eventually-used tokens move."""
 
     name = "bandwidth"
+
+    def on_reset(self) -> None:
+        problem = self.problem
+        # Who wants each token, in ascending vertex order (the order the
+        # old per-token range scan produced needers in).
+        self._wanters: List[List[int]] = [[] for _ in range(problem.num_tokens)]
+        for v in range(problem.num_vertices):
+            for t in problem.want[v]:
+                self._wanters[t].append(v)
+        self._sup_srcs: List[List[int]] = []
+        self._sup_keys: List[List[Tuple[int, int]]] = []
+        self._sup_caps: List[List[int]] = []
+        for v in range(problem.num_vertices):
+            in_arcs = problem.in_arcs(v)
+            self._sup_srcs.append([arc.src for arc in in_arcs])
+            self._sup_keys.append([(arc.src, arc.dst) for arc in in_arcs])
+            self._sup_caps.append([arc.capacity for arc in in_arcs])
 
     def _closest_one_hop_labels(
         self, ctx: StepContext, one_hop: List[int]
@@ -58,7 +80,7 @@ class BandwidthHeuristic(Heuristic):
         """
         problem = ctx.problem
         label = [-1] * problem.num_vertices
-        queue = deque()
+        queue: deque[int] = deque()
         for u in one_hop:
             label[u] = u
             queue.append(u)
@@ -72,40 +94,43 @@ class BandwidthHeuristic(Heuristic):
 
     def propose(self, ctx: StepContext) -> Proposal:
         problem = ctx.problem
+        num_vertices = problem.num_vertices
+        state = ctx.state
+        masks = (
+            state.possession_masks
+            if state is not None
+            else [p.mask for p in ctx.possession]
+        )
         pulls: Dict[int, List[int]] = {}  # vertex -> tokens it pulls this turn
-
-        def add_pull(v: int, token: int) -> None:
-            pulls.setdefault(v, []).append(token)
 
         # Which tokens each vertex could obtain in one turn: union of
         # in-neighbor possession.
-        one_hop_supply: List[TokenSet] = []
-        for v in range(problem.num_vertices):
-            supply = EMPTY_TOKENSET
-            for arc in problem.in_arcs(v):
-                supply = supply | ctx.possession[arc.src]
+        sup_srcs = self._sup_srcs
+        one_hop_supply: List[int] = []
+        for v in range(num_vertices):
+            supply = 0
+            for s in sup_srcs[v]:
+                supply |= masks[s]
             one_hop_supply.append(supply)
 
         for token in range(problem.num_tokens):
-            needers = [
-                v
-                for v in range(problem.num_vertices)
-                if token in problem.want[v] and token not in ctx.possession[v]
-            ]
+            bit = 1 << token
+            needers = [v for v in self._wanters[token] if not masks[v] & bit]
             if not needers:
                 continue
             far_needers = []
             for v in needers:
-                if token in one_hop_supply[v]:
-                    add_pull(v, token)  # case (i): the needer itself pulls
+                if one_hop_supply[v] & bit:
+                    # case (i): the needer itself pulls
+                    pulls.setdefault(v, []).append(token)
                 else:
                     far_needers.append(v)
             if not far_needers:
                 continue
             one_hop = [
                 u
-                for u in range(problem.num_vertices)
-                if token not in ctx.possession[u] and token in one_hop_supply[u]
+                for u in range(num_vertices)
+                if not masks[u] & bit and one_hop_supply[u] & bit
             ]
             if not one_hop:
                 continue  # token cannot advance this turn
@@ -115,29 +140,37 @@ class BandwidthHeuristic(Heuristic):
                 if label[x] != -1:
                     relays.add(label[x])
             for u in sorted(relays):
-                add_pull(u, token)  # case (ii): closest one-hop relay pulls
+                # case (ii): closest one-hop relay pulls
+                pulls.setdefault(u, []).append(token)
 
         # Assign pulls to supplying in-arcs, rarest token first.
-        sends: Dict[Tuple[int, int], TokenSet] = {}
+        rng = ctx.rng
+        rng_random = rng.random
+        holder_counts = ctx.holder_counts
+        sends: Dict[Tuple[int, int], int] = {}
+        holder_key = holder_counts.__getitem__
         for v, tokens in pulls.items():
-            ctx.rng.shuffle(tokens)
-            tokens.sort(key=lambda t: ctx.holder_counts[t])
-            in_arcs = problem.in_arcs(v)
-            budget = {(arc.src, arc.dst): arc.capacity for arc in in_arcs}
+            rng.shuffle(tokens)
+            tokens.sort(key=holder_key)
+            srcs = sup_srcs[v]
+            keys = self._sup_keys[v]
+            budgets = self._sup_caps[v].copy()
+            sup_masks = [masks[s] for s in srcs]
             for token in tokens:
-                candidates = [
-                    arc
-                    for arc in in_arcs
-                    if budget[(arc.src, arc.dst)] > 0
-                    and token in ctx.possession[arc.src]
-                ]
-                if not candidates:
+                bit = 1 << token
+                best_i = -1
+                best_b = -1
+                best_r = 0.0
+                for i, b in enumerate(budgets):
+                    if b > 0 and sup_masks[i] & bit:
+                        r = rng_random()
+                        if b > best_b or (b == best_b and r > best_r):
+                            best_i = i
+                            best_b = b
+                            best_r = r
+                if best_i < 0:
                     continue
-                best = max(
-                    candidates,
-                    key=lambda arc: (budget[(arc.src, arc.dst)], ctx.rng.random()),
-                )
-                key = (best.src, best.dst)
-                budget[key] -= 1
-                sends[key] = sends.get(key, EMPTY_TOKENSET).add(token)
-        return sends
+                budgets[best_i] -= 1
+                key = keys[best_i]
+                sends[key] = sends.get(key, 0) | bit
+        return {key: TokenSet(mask) for key, mask in sends.items()}

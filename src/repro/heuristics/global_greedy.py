@@ -15,13 +15,19 @@ tentative holder count of that token is bumped immediately, so later
 picks see the diversity created by earlier ones.  The rotation continues
 until no receiver can add an arrival.  Coordination guarantees a vertex
 never receives the same token twice in one turn.
+
+The inner loops work on raw bitmasks with per-run precomputed arc
+indices; the ``min``/``max`` selections are explicit loops that consume
+the RNG exactly as the old ``key=...`` scans did (one draw per candidate
+in the original candidate order, first element winning ties), keeping
+schedules byte-identical to the pre-rewrite implementation.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic
 from repro.sim import Proposal, StepContext
 
@@ -33,49 +39,96 @@ class GlobalGreedyHeuristic(Heuristic):
 
     name = "global"
 
+    def on_reset(self) -> None:
+        problem = self.problem
+        arcs = problem.arcs
+        self._arc_keys: List[Tuple[int, int]] = [(a.src, a.dst) for a in arcs]
+        self._arc_caps: List[int] = [a.capacity for a in arcs]
+        index_of = {(a.src, a.dst): i for i, a in enumerate(arcs)}
+        # Per-vertex in-arc views: global arc indices and source vertices,
+        # in problem.in_arcs order (the order the old scans iterated).
+        self._in_idx: List[List[int]] = []
+        self._in_srcs: List[List[int]] = []
+        for v in range(problem.num_vertices):
+            in_arcs = problem.in_arcs(v)
+            self._in_idx.append([index_of[(a.src, a.dst)] for a in in_arcs])
+            self._in_srcs.append([a.src for a in in_arcs])
+        self._active_template: List[int] = [
+            v for v in range(problem.num_vertices) if problem.in_arcs(v)
+        ]
+
     def propose(self, ctx: StepContext) -> Proposal:
         problem = ctx.problem
         rng = ctx.rng
+        rng_random = rng.random
+        state = ctx.state
+        masks = (
+            state.possession_masks
+            if state is not None
+            else [p.mask for p in ctx.possession]
+        )
         tentative_counts = list(ctx.holder_counts)
-        sends: Dict[Tuple[int, int], TokenSet] = {}
-        planned: List[TokenSet] = [EMPTY_TOKENSET] * problem.num_vertices
-        budget: Dict[Tuple[int, int], int] = {
-            (arc.src, arc.dst): arc.capacity for arc in problem.arcs
-        }
+        budgets = self._arc_caps.copy()
+        planned = [0] * problem.num_vertices
+        in_idx = self._in_idx
+        in_srcs = self._in_srcs
+        sends: Dict[Tuple[int, int], int] = {}
 
-        active = [v for v in range(problem.num_vertices) if problem.in_arcs(v)]
+        active = self._active_template.copy()
         rng.shuffle(active)
         while active:
             still_active = []
             for v in active:
                 # Tokens some budgeted in-neighbor holds that v lacks and
                 # is not already receiving this turn.
-                supply = EMPTY_TOKENSET
-                usable_arcs = []
-                for arc in problem.in_arcs(v):
-                    if budget[(arc.src, arc.dst)] > 0:
-                        supply = supply | ctx.possession[arc.src]
-                        usable_arcs.append(arc)
-                candidates = supply - ctx.possession[v] - planned[v]
+                idxs = in_idx[v]
+                srcs = in_srcs[v]
+                supply = 0
+                usable: List[int] = []
+                for j in range(len(idxs)):
+                    if budgets[idxs[j]] > 0:
+                        supply |= masks[srcs[j]]
+                        usable.append(j)
+                candidates = supply & ~masks[v] & ~planned[v]
                 if not candidates:
                     continue
-                token = min(
-                    candidates, key=lambda t: (tentative_counts[t], rng.random())
-                )
-                suppliers = [
-                    arc
-                    for arc in usable_arcs
-                    if token in ctx.possession[arc.src]
-                ]
-                best = max(
-                    suppliers,
-                    key=lambda arc: (budget[(arc.src, arc.dst)], rng.random()),
-                )
-                key = (best.src, best.dst)
-                budget[key] -= 1
-                planned[v] = planned[v].add(token)
-                tentative_counts[token] += 1
-                sends[key] = sends.get(key, EMPTY_TOKENSET).add(token)
+                # Explicit min over (tentative_count, rng.random()) across
+                # candidate tokens in ascending order; first wins ties,
+                # one RNG draw per candidate, like the old min(key=...).
+                best_t = -1
+                best_c = 0
+                best_r = 0.0
+                mm = candidates
+                while mm:
+                    low = mm & -mm
+                    mm ^= low
+                    t = low.bit_length() - 1
+                    c = tentative_counts[t]
+                    r = rng_random()
+                    if best_t < 0 or c < best_c or (c == best_c and r < best_r):
+                        best_t = t
+                        best_c = c
+                        best_r = r
+                bit = 1 << best_t
+                # Explicit max over (budget, rng.random()) across usable
+                # suppliers that hold the token, in in-arc order.
+                best_j = -1
+                best_b = -1
+                best_r2 = 0.0
+                for j in usable:
+                    if masks[srcs[j]] & bit:
+                        b = budgets[idxs[j]]
+                        r = rng_random()
+                        if b > best_b or (b == best_b and r > best_r2):
+                            best_j = j
+                            best_b = b
+                            best_r2 = r
+                arc_index = idxs[best_j]
+                budgets[arc_index] -= 1
+                planned[v] |= bit
+                tentative_counts[best_t] += 1
+                key = self._arc_keys[arc_index]
+                sends[key] = sends.get(key, 0) | bit
                 still_active.append(v)
             active = still_active
-        return sends
+        return {key: TokenSet(mask) for key, mask in sends.items()}

@@ -20,13 +20,23 @@ Like the other flooding heuristics, it requests every token it lacks —
 not just the ones it wants — so that intermediaries keep relaying; the
 paper's Figure 4 shows the resulting bandwidth is insensitive to how many
 vertices actually want the file.
+
+The aggregate need vector is maintained *incrementally*: kernel-backed
+contexts read the live ``token_deficit`` vector that
+:class:`repro.sim.SimState` updates inside its O(delta) gain fold;
+snapshot contexts fall back to diffing possession vectors.  The inner
+assignment loop works on raw bitmasks, inverts supplier masks into
+per-token holder lists, and replaces the ``max(key=...)`` supplier scan
+with an explicit loop that consumes the RNG identically, so schedules
+are byte-identical to the pre-rewrite implementation (see
+``tests/sim/test_incremental_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic
 from repro.sim import Proposal, StepContext
 
@@ -40,62 +50,141 @@ class LocalRarestHeuristic(Heuristic):
 
     def on_reset(self) -> None:
         problem = self.problem
-        # Aggregate need: how many vertices still want each token.
-        self._need_counts: List[int] = [0] * problem.num_tokens
-        for v in range(problem.num_vertices):
-            for t in problem.want[v] - problem.have[v]:
-                self._need_counts[t] += 1
+        self._want_masks: List[int] = [w.mask for w in problem.want]
+        # Aggregate need (how many vertices still want each token) is
+        # only materialised for snapshot contexts; kernel-backed runs
+        # read the kernel's live ``token_deficit`` vector instead.
+        self._need_counts: Optional[List[int]] = None
         self._prev_possession: List[TokenSet] = list(problem.have)
+        # Reusable per-token holder lists (cleared after each vertex).
+        self._holders: List[List[int]] = [[] for _ in range(problem.num_tokens)]
+        # Per-vertex supplier arrays: in-neighbor ids, arc keys, caps.
+        self._sup_srcs: List[List[int]] = []
+        self._sup_keys: List[List[Tuple[int, int]]] = []
+        self._sup_caps: List[List[int]] = []
+        for v in range(problem.num_vertices):
+            in_arcs = problem.in_arcs(v)
+            self._sup_srcs.append([arc.src for arc in in_arcs])
+            self._sup_keys.append([(arc.src, arc.dst) for arc in in_arcs])
+            self._sup_caps.append([arc.capacity for arc in in_arcs])
 
-    def _refresh_need_counts(self, ctx: StepContext) -> None:
+    def _refresh_need_counts(self, ctx: StepContext) -> List[int]:
         """Fold possession gains since the last turn into the aggregate
         need vector (the per-turn aggregate distribution the paper
-        assumes)."""
+        assumes).  Kernel-backed contexts never reach here — they read
+        the kernel's live ``token_deficit`` vector directly."""
+        want_masks = self._want_masks
+        if self._need_counts is None:
+            problem = self.problem
+            need_counts = [0] * problem.num_tokens
+            for v in range(problem.num_vertices):
+                mm = want_masks[v] & ~problem.have[v].mask
+                while mm:
+                    low = mm & -mm
+                    need_counts[low.bit_length() - 1] += 1
+                    mm ^= low
+            self._need_counts = need_counts
+        need_counts = self._need_counts
         for v in range(ctx.problem.num_vertices):
             gained = ctx.possession[v] - self._prev_possession[v]
             if gained:
-                for t in gained & ctx.problem.want[v]:
-                    self._need_counts[t] -= 1
+                newly = gained.mask & want_masks[v]
+                while newly:
+                    low = newly & -newly
+                    need_counts[low.bit_length() - 1] -= 1
+                    newly ^= low
                 self._prev_possession[v] = ctx.possession[v]
+        return need_counts
 
     def propose(self, ctx: StepContext) -> Proposal:
-        self._refresh_need_counts(ctx)
         problem = ctx.problem
         rng = ctx.rng
+        rng_random = rng.random
         holder_counts = ctx.holder_counts
-        need_counts = self._need_counts
-        sends: Dict[Tuple[int, int], TokenSet] = {}
+        state = ctx.state
+        if state is not None:
+            # Kernel path: the aggregate need vector is maintained by the
+            # kernel's O(delta) gain fold; possession is read as raw ints.
+            need_counts = state.token_demand()
+            masks = state.possession_masks
+        else:
+            need_counts = self._refresh_need_counts(ctx)
+            masks = [p.mask for p in ctx.possession]
+        sup_srcs = self._sup_srcs
+        # Rank encoding of the old sort key (holder_counts[t], -need_counts[t]):
+        # both components live in [0, V], so h*(V+1) + (V-need) compares
+        # exactly like the tuple — computed once per step, giving the
+        # sorts a C-level key function.
+        nv = problem.num_vertices
+        rank = [
+            holder_counts[t] * (nv + 1) + (nv - need_counts[t])
+            for t in range(problem.num_tokens)
+        ]
+        rank_key = rank.__getitem__
+        holders = self._holders
+        sends: Dict[Tuple[int, int], int] = {}
         for v in range(problem.num_vertices):
-            in_arcs = problem.in_arcs(v)
-            if not in_arcs:
+            srcs = sup_srcs[v]
+            if not srcs:
                 continue
-            available = EMPTY_TOKENSET
-            for arc in in_arcs:
-                available = available | ctx.possession[arc.src]
-            lacking = available - ctx.possession[v]
+            available = 0
+            for s in srcs:
+                available |= masks[s]
+            lacking = available & ~masks[v]
             if not lacking:
                 continue
-            requests = list(lacking)
+            requests: List[int] = []
+            mm = lacking
+            while mm:
+                low = mm & -mm
+                requests.append(low.bit_length() - 1)
+                mm ^= low
+            # Invert supplier masks into per-token holder lists (supplier
+            # indices ascending, i.e. in-arc order) so each request only
+            # visits peers that actually hold it.
+            for i, s in enumerate(srcs):
+                mm = masks[s] & lacking
+                while mm:
+                    low = mm & -mm
+                    holders[low.bit_length() - 1].append(i)
+                    mm ^= low
             rng.shuffle(requests)
             # Rarest first; among equally rare, prefer globally needed tokens.
-            requests.sort(key=lambda t: (holder_counts[t], -need_counts[t]))
-            budget = {(arc.src, arc.dst): arc.capacity for arc in in_arcs}
-            suppliers = list(in_arcs)
+            requests.sort(key=rank_key)
+            keys = self._sup_keys[v]
+            budgets = self._sup_caps[v].copy()
+            accum = [0] * len(srcs)
+            remaining = sum(budgets)
             for token in requests:
-                candidates = [
-                    arc
-                    for arc in suppliers
-                    if budget[(arc.src, arc.dst)] > 0
-                    and token in ctx.possession[arc.src]
-                ]
-                if not candidates:
-                    continue
+                if not remaining:
+                    # No supplier has budget left: no later request can be
+                    # assigned and none would consume RNG (eligibility
+                    # requires budget), so stopping is stream-identical.
+                    break
                 # Spread requests: ask the peer with the most spare budget.
-                best = max(
-                    candidates,
-                    key=lambda arc: (budget[(arc.src, arc.dst)], rng.random()),
-                )
-                key = (best.src, best.dst)
-                budget[key] -= 1
-                sends[key] = sends.get(key, EMPTY_TOKENSET).add(token)
-        return sends
+                # Explicit max over (budget, rng.random()); first wins ties,
+                # matching max(key=...) which only replaces on strictly
+                # greater keys — and consuming one rng.random() per
+                # eligible supplier in arc order, like the old key calls.
+                best_i = -1
+                best_b = -1
+                best_r = 0.0
+                for i in holders[token]:
+                    b = budgets[i]
+                    if b > 0:
+                        r = rng_random()
+                        if b > best_b or (b == best_b and r > best_r):
+                            best_i = i
+                            best_b = b
+                            best_r = r
+                if best_i < 0:
+                    continue
+                budgets[best_i] -= 1
+                remaining -= 1
+                accum[best_i] |= 1 << token
+            for token in requests:
+                holders[token].clear()
+            for i, acc in enumerate(accum):
+                if acc:
+                    sends[keys[i]] = acc
+        return {key: TokenSet(mask) for key, mask in sends.items()}

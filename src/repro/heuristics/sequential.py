@@ -11,13 +11,18 @@ It exists to quantify the classic swarm/streaming tradeoff against
 minimizes playback startup delay (see
 :mod:`repro.analysis.streaming`) while rarest-first minimizes the
 overall makespan by keeping the token population diverse.
+
+The assignment loop mirrors the rewritten Local heuristic: raw bitmask
+supply unions and an explicit supplier-max that consumes the RNG exactly
+as the old ``max(key=...)`` scan did, so schedules are byte-identical to
+the pre-rewrite implementation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
-from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic
 from repro.sim import Proposal, StepContext
 
@@ -29,35 +34,61 @@ class SequentialHeuristic(Heuristic):
 
     name = "sequential"
 
-    def propose(self, ctx: StepContext) -> Proposal:
-        problem = ctx.problem
-        rng = ctx.rng
-        sends: Dict[Tuple[int, int], TokenSet] = {}
+    def on_reset(self) -> None:
+        problem = self.problem
+        self._sup_srcs: List[List[int]] = []
+        self._sup_keys: List[List[Tuple[int, int]]] = []
+        self._sup_caps: List[List[int]] = []
         for v in range(problem.num_vertices):
             in_arcs = problem.in_arcs(v)
-            if not in_arcs:
+            self._sup_srcs.append([arc.src for arc in in_arcs])
+            self._sup_keys.append([(arc.src, arc.dst) for arc in in_arcs])
+            self._sup_caps.append([arc.capacity for arc in in_arcs])
+
+    def propose(self, ctx: StepContext) -> Proposal:
+        problem = ctx.problem
+        rng_random = ctx.rng.random
+        state = ctx.state
+        masks = (
+            state.possession_masks
+            if state is not None
+            else [p.mask for p in ctx.possession]
+        )
+        sup_srcs = self._sup_srcs
+        sends: Dict[Tuple[int, int], int] = {}
+        for v in range(problem.num_vertices):
+            srcs = sup_srcs[v]
+            if not srcs:
                 continue
-            available = EMPTY_TOKENSET
-            for arc in in_arcs:
-                available = available | ctx.possession[arc.src]
-            lacking = available - ctx.possession[v]
+            available = 0
+            for s in srcs:
+                available |= masks[s]
+            lacking = available & ~masks[v]
             if not lacking:
                 continue
-            budget = {(arc.src, arc.dst): arc.capacity for arc in in_arcs}
-            for token in lacking:  # TokenSet iterates in increasing order
-                candidates = [
-                    arc
-                    for arc in in_arcs
-                    if budget[(arc.src, arc.dst)] > 0
-                    and token in ctx.possession[arc.src]
-                ]
-                if not candidates:
+            keys = self._sup_keys[v]
+            budgets = self._sup_caps[v].copy()
+            sup_masks = [masks[s] for s in srcs]
+            remaining = sum(budgets)
+            while lacking and remaining:  # lowest-indexed missing first;
+                # stop when budgets are gone — no later token could be
+                # assigned or consume RNG, so stopping is stream-identical.
+                low = lacking & -lacking
+                lacking ^= low
+                best_i = -1
+                best_b = -1
+                best_r = 0.0
+                for i, b in enumerate(budgets):
+                    if b > 0 and sup_masks[i] & low:
+                        r = rng_random()
+                        if b > best_b or (b == best_b and r > best_r):
+                            best_i = i
+                            best_b = b
+                            best_r = r
+                if best_i < 0:
                     continue
-                best = max(
-                    candidates,
-                    key=lambda arc: (budget[(arc.src, arc.dst)], rng.random()),
-                )
-                key = (best.src, best.dst)
-                budget[key] -= 1
-                sends[key] = sends.get(key, EMPTY_TOKENSET).add(token)
-        return sends
+                budgets[best_i] -= 1
+                remaining -= 1
+                key = keys[best_i]
+                sends[key] = sends.get(key, 0) | low
+        return {key: TokenSet(mask) for key, mask in sends.items()}

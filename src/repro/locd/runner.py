@@ -21,9 +21,10 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.core.problem import Problem
 from repro.core.schedule import Schedule, Timestep
-from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.core.tokenset import TokenSet
 from repro.locd.knowledge import Knowledge, initial_knowledge
 from repro.sim.engine import HeuristicViolation, RunResult
+from repro.sim.state import SimState
 
 __all__ = ["LocalAlgorithm", "LocalEngine", "run_local"]
 
@@ -64,7 +65,8 @@ class LocalEngine:
 
     def run(self) -> RunResult:
         problem = self.problem
-        possession: List[TokenSet] = list(problem.have)
+        state = SimState(problem)
+        possession = state.possession  # live list; read-only here
         knowledge: List[Knowledge] = [
             initial_knowledge(problem, v) for v in range(problem.num_vertices)
         ]
@@ -72,13 +74,7 @@ class LocalEngine:
         steps: List[Timestep] = []
         knowledge_cost = 0
 
-        def satisfied() -> bool:
-            return all(
-                problem.want[v] <= possession[v]
-                for v in range(problem.num_vertices)
-            )
-
-        success = satisfied()
+        success = state.satisfied()
         while not success and len(steps) < self.max_steps:
             step_index = len(steps)
             # 1. Decisions from local knowledge only.
@@ -110,12 +106,10 @@ class LocalEngine:
             timestep = Timestep(sends)
             steps.append(timestep)
 
-            # 2. Apply token movement.
-            arrivals: Dict[int, TokenSet] = {}
-            for (src, dst), tokens in timestep.sends.items():
-                arrivals[dst] = arrivals.get(dst, EMPTY_TOKENSET) | tokens
-            for dst, tokens in arrivals.items():
-                possession[dst] = possession[dst] | tokens
+            # 2. Apply token movement through the shared kernel.  The
+            # raw arrivals (including already-held tokens) feed step 3:
+            # a vertex records everything it was sent, not just gains.
+            arrivals = state.apply_timestep(timestep)
 
             # 3. Gossip: merge the *previous* knowledge of both-direction
             # neighbors, then record own arrivals.
@@ -126,9 +120,9 @@ class LocalEngine:
                     knowledge[v].merge_from(snapshots[u])
                 knowledge_cost += knowledge[v].size_facts() - before
                 if v in arrivals:
-                    knowledge[v].record_own_possession(arrivals[v])
+                    knowledge[v].record_own_possession(TokenSet(arrivals[v]))
 
-            success = satisfied()
+            success = state.satisfied()
         return RunResult(
             problem=problem,
             heuristic_name=self.algorithm.name,

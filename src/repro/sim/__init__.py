@@ -11,6 +11,7 @@ from repro.sim.engine import (
     run_heuristic,
 )
 from repro.sim.render import possession_timeline, schedule_to_text
+from repro.sim.state import SimState
 
 __all__ = [
     "Engine",
@@ -18,6 +19,7 @@ __all__ = [
     "HeuristicViolation",
     "Proposal",
     "RunResult",
+    "SimState",
     "StallError",
     "StepContext",
     "possession_timeline",

@@ -1,29 +1,39 @@
 """Synchronous round-based simulator for OCD heuristics.
 
 The engine owns the ground-truth state of one run: the possession vector
-``p_i`` from Section 3.1.  Each timestep it hands the current state to a
-heuristic as a read-only :class:`StepContext`, receives a proposed set of
-sends, *validates the proposal against the model constraints* (capacity
-and possession — a buggy heuristic raises :class:`HeuristicViolation`
-instead of silently cheating), applies it, and checks for success.
+``p_i`` from Section 3.1, held in an incrementally maintained
+:class:`repro.sim.state.SimState`.  Each timestep it hands the current
+state to a heuristic as a read-only :class:`StepContext`, receives a
+proposed set of sends, *validates the proposal against the model
+constraints* (capacity and possession — a buggy heuristic raises
+:class:`HeuristicViolation` instead of silently cheating), applies it,
+and checks for success.
 
 The engine presents a global view of the state.  Heuristics differ in how
 much of that view they are allowed to read — e.g. Round-Robin only reads
 the sender's own tokens while Global reads everything — and the strict
 local-knowledge (LOCD) runner in :mod:`repro.locd` enforces locality
 mechanically by constructing per-vertex knowledge views instead.
+
+Per-step cost is O(delta), not O(swarm): the success test is a counter
+read, the stall test rechecks only arcs whose endpoints changed, and the
+:class:`StepContext` is a zero-copy view over the kernel's live state
+(the pre-kernel loop snapshotted possession into fresh tuples every
+step).  Schedules are byte-identical to the frozen pre-kernel loop in
+:mod:`repro.sim.reference`, which the equivalence suite enforces.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from repro.core.metrics import ScheduleMetrics, evaluate_schedule
 from repro.core.problem import Problem
 from repro.core.schedule import Schedule, Timestep
-from repro.core.tokenset import EMPTY_TOKENSET, TokenSet
+from repro.core.tokenset import TokenSet
+from repro.sim.state import SimState
 
 __all__ = [
     "Proposal",
@@ -48,9 +58,31 @@ class StallError(RuntimeError):
 
 
 class StepContext:
-    """Read-only snapshot handed to a heuristic at each timestep."""
+    """Read-only view handed to a heuristic at each timestep.
 
-    __slots__ = ("problem", "step", "possession", "holder_counts", "rng")
+    When built by an engine, ``possession`` and ``holder_counts`` are the
+    kernel's *live* lists (zero-copy) and ``state`` exposes the
+    :class:`SimState` so heuristics can consume the gain journal;
+    ``version`` records the state version the view was issued at.  The
+    view is only valid until the engine applies the step's sends —
+    heuristics must not cache ``possession`` entries across steps (use
+    ``state.gains_since`` to observe change instead).
+
+    Constructed directly with plain sequences (``state=None``) it is a
+    self-contained snapshot, which the heuristic unit tests and the
+    gossip-stale LOCD views rely on.
+    """
+
+    __slots__ = (
+        "problem",
+        "step",
+        "possession",
+        "holder_counts",
+        "rng",
+        "state",
+        "version",
+        "_outstanding",
+    )
 
     def __init__(
         self,
@@ -59,12 +91,16 @@ class StepContext:
         possession: Sequence[TokenSet],
         holder_counts: Sequence[int],
         rng: random.Random,
+        state: Optional[SimState] = None,
     ) -> None:
         self.problem = problem
         self.step = step
         self.possession = possession
         self.holder_counts = holder_counts
         self.rng = rng
+        self.state = state
+        self.version = state.version if state is not None else 0
+        self._outstanding: Optional[int] = None
 
     def useful(self, src: int, dst: int) -> TokenSet:
         """Tokens ``src`` holds that ``dst`` lacks — the flooding notion
@@ -76,9 +112,18 @@ class StepContext:
         return self.problem.want[v] - self.possession[v]
 
     def total_outstanding(self) -> int:
-        return sum(
-            len(self.outstanding(v)) for v in range(self.problem.num_vertices)
-        )
+        """Total wanted-but-missing token count across all vertices.
+
+        O(1) when kernel-backed (the deficit counter); computed once and
+        cached for snapshot contexts.
+        """
+        if self.state is not None:
+            return self.state.total_deficit
+        if self._outstanding is None:
+            self._outstanding = sum(
+                len(self.outstanding(v)) for v in range(self.problem.num_vertices)
+            )
+        return self._outstanding
 
 
 class HeuristicProtocol(Protocol):
@@ -101,8 +146,6 @@ class RunResult:
     heuristic_name: str
     schedule: Schedule
     success: bool
-    stalled: bool = False
-    bound_trace: List[Tuple[int, int]] = field(default_factory=list)
     #: Total gossip facts learned over the run (LOCD runs only; 0 for the
     #: global-view engine).  See Knowledge.size_facts.
     knowledge_cost: int = 0
@@ -165,35 +208,42 @@ class Engine:
         # The default predicate is the paper's: w(v) ⊆ p_t(v) everywhere.
         # Extensions (e.g. threshold coding, §6) substitute their own.
         self.success_predicate = success_predicate
+        # Arc capacities keyed for one-lookup proposal validation.
+        self._capacities: Dict[Tuple[int, int], int] = {
+            (arc.src, arc.dst): arc.capacity for arc in problem.arcs
+        }
 
     def run(self) -> RunResult:
         problem = self.problem
-        possession: List[TokenSet] = list(problem.have)
-        holder_counts = [0] * problem.num_tokens
-        for tokens in possession:
-            for t in tokens:
-                holder_counts[t] += 1
+        state = SimState(problem)
+        predicate = self.success_predicate
+
+        def satisfied() -> bool:
+            if predicate is not None:
+                return predicate(state.possession)
+            return state.satisfied()
 
         self.heuristic.reset(problem, self.rng)
         steps: List[Timestep] = []
         stalled_for = 0
 
-        def satisfied() -> bool:
-            if self.success_predicate is not None:
-                return self.success_predicate(possession)
-            return all(
-                problem.want[v] <= possession[v]
-                for v in range(problem.num_vertices)
-            )
-
         success = satisfied()
         while not success and len(steps) < self.max_steps:
             ctx = StepContext(
-                problem, len(steps), tuple(possession), tuple(holder_counts), self.rng
+                problem,
+                len(steps),
+                state.possession,
+                state.holder_counts,
+                self.rng,
+                state=state,
             )
             proposal = self.heuristic.propose(ctx)
-            timestep = self._validated_timestep(proposal, possession, len(steps))
-            progressed = self._apply(timestep, possession, holder_counts)
+            timestep, arrivals = self._validated_timestep(
+                proposal, state.possession_masks, len(steps)
+            )
+            version_before = state.version
+            state.apply_arrivals(arrivals)
+            progressed = state.version != version_before
             steps.append(timestep)
             success = satisfied()
             if success:
@@ -201,7 +251,7 @@ class Engine:
             if progressed:
                 stalled_for = 0
                 continue
-            if not self._any_useful_arc(possession):
+            if not state.any_useful_arc():
                 raise StallError(
                     f"no arc carries a useful token at step {len(steps)} while "
                     f"demand remains; the instance is unsatisfiable from this state"
@@ -224,63 +274,43 @@ class Engine:
         )
 
     # ------------------------------------------------------------------
-    def _any_useful_arc(self, possession: Sequence[TokenSet]) -> bool:
-        """Whether any arc could still deliver a token its head lacks."""
-        return any(
-            possession[arc.src] - possession[arc.dst] for arc in self.problem.arcs
-        )
-
     def _validated_timestep(
         self,
         proposal: Proposal,
-        possession: Sequence[TokenSet],
+        possession_masks: Sequence[int],
         step: int,
-    ) -> Timestep:
-        problem = self.problem
+    ) -> Tuple[Timestep, Dict[int, int]]:
+        """Validate a proposal; return the timestep and the per-vertex
+        arrival masks aggregated during the same walk over the sends."""
+        capacities = self._capacities
         sends: Dict[Tuple[int, int], TokenSet] = {}
+        arrivals: Dict[int, int] = {}
         for (src, dst), tokens in proposal.items():
-            if not tokens:
+            mask = tokens.mask
+            if not mask:
                 continue
-            if not problem.has_arc(src, dst):
+            cap = capacities.get((src, dst))
+            if cap is None:
                 raise HeuristicViolation(
                     f"step {step}: heuristic {self.heuristic.name!r} sent on "
                     f"missing arc ({src}, {dst})"
                 )
-            if len(tokens) > problem.capacity(src, dst):
+            if mask.bit_count() > cap:
                 raise HeuristicViolation(
                     f"step {step}: heuristic {self.heuristic.name!r} sent "
                     f"{len(tokens)} tokens on arc ({src}, {dst}) of capacity "
-                    f"{problem.capacity(src, dst)}"
+                    f"{cap}"
                 )
-            if not tokens <= possession[src]:
-                missing = tokens - possession[src]
+            if mask & ~possession_masks[src]:
+                missing = TokenSet(mask & ~possession_masks[src])
                 raise HeuristicViolation(
                     f"step {step}: heuristic {self.heuristic.name!r} sent tokens "
                     f"{sorted(missing)} that vertex {src} does not possess"
                 )
             sends[(src, dst)] = tokens
-        return Timestep(sends)
-
-    def _apply(
-        self,
-        timestep: Timestep,
-        possession: List[TokenSet],
-        holder_counts: List[int],
-    ) -> bool:
-        """Union arriving tokens into possession; return whether any
-        vertex actually gained a token."""
-        progressed = False
-        arrivals: Dict[int, TokenSet] = {}
-        for (src, dst), tokens in timestep.sends.items():
-            arrivals[dst] = arrivals.get(dst, EMPTY_TOKENSET) | tokens
-        for dst, tokens in arrivals.items():
-            gained = tokens - possession[dst]
-            if gained:
-                progressed = True
-                possession[dst] = possession[dst] | gained
-                for t in gained:
-                    holder_counts[t] += 1
-        return progressed
+            prev = arrivals.get(dst)
+            arrivals[dst] = mask if prev is None else prev | mask
+        return Timestep.from_validated(sends), arrivals
 
 
 def run_heuristic(
