@@ -13,10 +13,19 @@ drops more than 25% below the committed baseline — i.e. someone has
 slowed the incremental path down relative to the known-equivalent
 reference.
 
+``--trace-overhead`` gates the observability layer instead: it times
+the engine on its default disabled-tracing path against an explicitly
+passed :class:`~repro.obs.NullTracer` (the identical code path, so the
+comparison is machine-robust) and fails if the disabled path is more
+than 2% slower — i.e. someone has put payload construction outside the
+``if tracing:`` guard.  The slowdown with tracing fully enabled is
+printed informationally.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/engine_perf.py            # rewrite baseline
     PYTHONPATH=src python benchmarks/engine_perf.py --check    # CI regression gate
+    PYTHONPATH=src python benchmarks/engine_perf.py --trace-overhead
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from conftest import bench_rng  # noqa: E402
 
 from repro.heuristics import HEURISTIC_FACTORIES  # noqa: E402
+from repro.obs import NullTracer, RecordingTracer  # noqa: E402
 from repro.sim import RunResult, run_heuristic  # noqa: E402
 from repro.sim.reference import (  # noqa: E402
     make_reference_heuristic,
@@ -45,6 +55,9 @@ BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 #: The committed speedup may shrink this much before --check fails.
 REGRESSION_TOLERANCE = 0.75
+
+#: Max slowdown --trace-overhead tolerates for the disabled-tracing path.
+TRACE_OVERHEAD_TOLERANCE = 0.02
 
 # Same workloads as benchmarks/test_engine_throughput.py.
 CASES: Dict[str, Tuple[str, str, int, int]] = {
@@ -143,6 +156,71 @@ def check_against_baseline(repeats: int) -> int:
     return 0
 
 
+def check_trace_overhead(repeats: int) -> int:
+    """Gate: a NullTracer-equipped run is as fast as the default run.
+
+    Both sides execute the same instructions (``tracer.enabled`` is
+    false either way and the engine hoists it once per run), so any
+    measured gap beyond noise means event-payload work has leaked out
+    of the ``if tracing:`` guard.  The full-tracing slowdown (in-memory
+    :class:`RecordingTracer` sink) is reported but not gated — it is
+    allowed to cost whatever faithful per-step events cost.
+    """
+    failures = []
+    for label, (name, rng_label, n, file_tokens) in CASES.items():
+        problem = single_file(
+            random_graph(n, bench_rng(rng_label)), file_tokens=file_tokens
+        )
+
+        def run_with(tracer_factory) -> RunResult:
+            return run_heuristic(
+                problem,
+                HEURISTIC_FACTORIES[name](),
+                seed=1,
+                tracer=tracer_factory() if tracer_factory else None,
+            )
+
+        # Time the variants back-to-back within each repeat and compare
+        # *paired* ratios, keeping the cleanest (minimum) pair.  Shared-
+        # machine noise inflates individual samples by several percent,
+        # but it cannot deflate one: if even a single interleaved repeat
+        # shows the two identical code paths running at the same speed,
+        # no payload work has leaked out of the ``if tracing:`` guard —
+        # whereas a real leak inflates every repeat.
+        variants = (None, NullTracer, RecordingTracer)
+        results: list = [None] * len(variants)
+        null_ratios, full_ratios = [], []
+        for _ in range(repeats):
+            times = []
+            for i, factory in enumerate(variants):
+                t0 = time.perf_counter()
+                results[i] = run_with(factory)
+                times.append(time.perf_counter() - t0)
+            null_ratios.append(times[1] / times[0])
+            full_ratios.append(times[2] / times[0])
+        base, null_run, full_run = results
+        for other in (null_run, full_run):
+            if other.schedule != base.schedule:
+                raise AssertionError(
+                    f"{label}: tracer choice perturbed the schedule"
+                )
+        overhead = min(null_ratios) - 1.0
+        status = "ok" if overhead <= TRACE_OVERHEAD_TOLERANCE else "OVERHEAD"
+        print(
+            f"{label}: disabled-tracing overhead {overhead:+.1%} "
+            f"(limit {TRACE_OVERHEAD_TOLERANCE:.0%}) -> {status}; "
+            f"full tracing {sorted(full_ratios)[repeats // 2]:.2f}x "
+            "[informational]"
+        )
+        if overhead > TRACE_OVERHEAD_TOLERANCE:
+            failures.append(label)
+    if failures:
+        print(f"disabled-tracing overhead exceeded in: {', '.join(failures)}")
+        return 1
+    print("tracing disabled is free in all cases")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -152,12 +230,21 @@ def main() -> int:
         f"(fail below {REGRESSION_TOLERANCE:.0%} of the committed speedup)",
     )
     parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="compare the default disabled-tracing path against an "
+        "explicit NullTracer "
+        f"(fail if slower by more than {TRACE_OVERHEAD_TOLERANCE:.0%})",
+    )
+    parser.add_argument(
         "--repeats",
         type=int,
         default=5,
         help="best-of-N timing repeats per case (default 5)",
     )
     args = parser.parse_args()
+    if args.trace_overhead:
+        return check_trace_overhead(args.repeats)
     if args.check:
         return check_against_baseline(args.repeats)
     write_baseline(args.repeats)

@@ -1,4 +1,4 @@
-"""The repo-grounded ocdlint rules (OCD001–OCD006).
+"""The repo-grounded ocdlint rules (OCD001–OCD007).
 
 Each rule guards one invariant of the Section 3.1 model or of the
 engine/heuristic layering built on top of it; the mapping is recorded in
@@ -8,6 +8,7 @@ each rule's ``invariant`` attribute and in ``docs/MODEL.md``.
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.checks.framework import Diagnostic, LintContext, Rule, register_rule
@@ -19,6 +20,7 @@ __all__ = [
     "WallClockTimestepRule",
     "EngineEncapsulationRule",
     "PublicAnnotationRule",
+    "BarePrintRule",
 ]
 
 #: Packages whose code defines or executes the model itself (as opposed
@@ -777,4 +779,55 @@ class PublicAnnotationRule(Rule):
                 for sub in stmt.body:
                     if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
                         diags.extend(self._check_function(ctx, sub, is_method=True))
+        return diags
+
+
+# ======================================================================
+# OCD007 — library code never prints; observability goes through obs
+# ======================================================================
+@register_rule
+class BarePrintRule(Rule):
+    """Library code under ``src/repro/`` must not call bare ``print()``:
+    stdout belongs to the user-facing command surfaces, and ad-hoc
+    prints are invisible to the structured observability layer.  CLI
+    modules, the trace-report renderer, examples, and tests are exempt —
+    printing *is* their job.
+    """
+
+    code = "OCD007"
+    name = "bare-print"
+    summary = "bare print() in library code"
+    invariant = (
+        "observability: library diagnostics flow through repro.obs "
+        "(get_logger / Tracer / MetricsRegistry), never raw stdout"
+    )
+    exclude_packages = frozenset({"checks", "cli", "examples", "tests"})
+
+    #: Module stems whose whole purpose is terminal output, exempt even
+    #: inside otherwise-covered packages (``repro/obs/report.py``, a
+    #: package-local ``cli.py``, ``__main__.py``).
+    _EXEMPT_STEMS = frozenset({"__main__", "cli", "report"})
+
+    def applies(self, ctx: LintContext) -> bool:
+        if Path(ctx.path).stem in self._EXEMPT_STEMS:
+            return False
+        return super().applies(ctx)
+
+    def check(self, ctx: LintContext) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                diags.append(
+                    self.diagnostic(
+                        ctx,
+                        node,
+                        "print() in library code; use "
+                        "`_logger = repro.obs.get_logger(__name__)` and "
+                        "`_logger.info(...)` (or write to an injected stream)",
+                    )
+                )
         return diags

@@ -15,6 +15,15 @@ Two halves:
       ocd-repro simulate problem.json --heuristic local --render
       ocd-repro compare problem.json
 
+* observability — record and inspect run traces
+  (``docs/OBSERVABILITY.md``)::
+
+      ocd-repro trace problem.json --heuristic all --out trace.jsonl
+      ocd-repro trace random --size 20 --tokens 8 --profile
+      ocd-repro report trace.jsonl
+      ocd-repro convert-telemetry old-telemetry.jsonl upgraded.jsonl
+      ocd-repro run fig2 --trace-dir traces/
+
 (equivalently ``python -m repro ...``).  Problem files are the
 ``Problem.to_dict`` JSON form.
 """
@@ -89,6 +98,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append per-point telemetry JSONL here "
         "(default <cache-dir>/telemetry.jsonl)",
     )
+    run.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write one run-trace JSONL per computed sweep point into this "
+        "directory (or $REPRO_TRACE_DIR; cache hits compute nothing and "
+        "leave no trace)",
+    )
 
     generate = sub.add_parser(
         "generate", help="generate a random OCD instance as JSON"
@@ -121,6 +137,62 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the pruned schedule step by step (small instances)",
     )
+    simulate.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the phase-timer/metrics summary after the run",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run heuristics with full tracing into a JSONL trace file",
+    )
+    trace.add_argument(
+        "scenario",
+        help="path to a Problem JSON file, or a generator family "
+        f"({' | '.join(_GENERATE_FAMILIES)})",
+    )
+    trace.add_argument(
+        "--heuristic",
+        default="all",
+        help="round_robin | random | local | bandwidth | global | sequential "
+        "| all (default: all, tracing every standard heuristic in turn)",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--size",
+        type=int,
+        default=12,
+        help="approximate vertex count when scenario is a generator family",
+    )
+    trace.add_argument(
+        "--tokens",
+        type=int,
+        default=6,
+        help="token count when scenario is a generator family",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        help="trace output path (default <scenario>.trace.jsonl)",
+    )
+    trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the phase-timer/metrics summary after tracing",
+    )
+
+    report = sub.add_parser(
+        "report", help="render a trace JSONL file as a text timeline"
+    )
+    report.add_argument("trace", help="path to a trace JSONL file")
+
+    convert = sub.add_parser(
+        "convert-telemetry",
+        help="upgrade pre-schema sweep telemetry JSONL to the event schema",
+    )
+    convert.add_argument("src", help="legacy telemetry JSONL file")
+    convert.add_argument("dst", help="output path (must differ from src)")
 
     compare = sub.add_parser(
         "compare", help="all heuristics x all metrics on an instance"
@@ -173,6 +245,7 @@ def _cmd_run(args) -> int:
         use_cache=False if args.no_cache else None,
         force=True if args.force else None,
         cache_dir=args.cache_dir,
+        trace_dir=args.trace_dir,
     )
     if args.telemetry is not None:
         config = replace(config, telemetry_path=args.telemetry)
@@ -198,7 +271,7 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_generate(args) -> int:
+def _generate_problem(family: str, seed: int, size: int, tokens: int) -> Problem:
     from repro.topology.generators import (
         adversarial_spread_instance,
         bottleneck_instance,
@@ -206,23 +279,26 @@ def _cmd_generate(args) -> int:
         random_instance,
     )
 
-    rng = random.Random(args.seed)
-    if args.family == "random":
-        problem = random_instance(
-            rng, max_vertices=max(2, args.size), max_tokens=max(1, args.tokens)
+    rng = random.Random(seed)
+    if family == "random":
+        return random_instance(
+            rng, max_vertices=max(2, size), max_tokens=max(1, tokens)
         )
-    elif args.family == "bottleneck":
-        problem = bottleneck_instance(
-            rng, cluster_size=max(1, args.size // 2), num_tokens=max(1, args.tokens)
+    if family == "bottleneck":
+        return bottleneck_instance(
+            rng, cluster_size=max(1, size // 2), num_tokens=max(1, tokens)
         )
-    elif args.family == "dag":
-        problem = dag_instance(
-            rng, num_vertices=max(2, args.size), num_tokens=max(1, args.tokens)
+    if family == "dag":
+        return dag_instance(
+            rng, num_vertices=max(2, size), num_tokens=max(1, tokens)
         )
-    else:
-        problem = adversarial_spread_instance(
-            rng, num_vertices=max(2, args.size), num_tokens=max(1, args.tokens)
-        )
+    return adversarial_spread_instance(
+        rng, num_vertices=max(2, size), num_tokens=max(1, tokens)
+    )
+
+
+def _cmd_generate(args) -> int:
+    problem = _generate_problem(args.family, args.seed, args.size, args.tokens)
     payload = json.dumps(problem.to_dict(), indent=2)
     if args.out == "-":
         print(payload)
@@ -264,24 +340,34 @@ def _cmd_solve(args) -> int:
     return 0
 
 
+def _resolve_heuristic(name: str):
+    """One heuristic instance by CLI name, or ``None`` if unknown."""
+    from repro.heuristics import HEURISTIC_FACTORIES, SequentialHeuristic
+
+    if name == "sequential":
+        return SequentialHeuristic()
+    if name in HEURISTIC_FACTORIES:
+        return HEURISTIC_FACTORIES[name]()
+    return None
+
+
 def _cmd_simulate(args) -> int:
     from repro.core.pruning import prune_schedule
-    from repro.heuristics import HEURISTIC_FACTORIES, SequentialHeuristic
+    from repro.heuristics import HEURISTIC_FACTORIES
+    from repro.obs import MetricsRegistry
     from repro.sim import run_heuristic, schedule_to_text
 
     problem = _load_problem(args.problem)
-    if args.heuristic == "sequential":
-        heuristic = SequentialHeuristic()
-    elif args.heuristic in HEURISTIC_FACTORIES:
-        heuristic = HEURISTIC_FACTORIES[args.heuristic]()
-    else:
+    heuristic = _resolve_heuristic(args.heuristic)
+    if heuristic is None:
         print(
             f"unknown heuristic {args.heuristic!r}; choose from "
             f"{', '.join(sorted(HEURISTIC_FACTORIES))}, sequential",
             file=sys.stderr,
         )
         return 2
-    result = run_heuristic(problem, heuristic, seed=args.seed)
+    metrics = MetricsRegistry() if args.profile else None
+    result = run_heuristic(problem, heuristic, seed=args.seed, metrics=metrics)
     pruned, stats = prune_schedule(problem, result.schedule)
     print(
         f"{heuristic.name} on {problem}: success={result.success} "
@@ -290,7 +376,92 @@ def _cmd_simulate(args) -> int:
     )
     if args.render:
         print(schedule_to_text(problem, pruned))
+    if metrics is not None:
+        print(metrics.render())
     return 0 if result.success else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.heuristics import HEURISTIC_FACTORIES, standard_heuristics
+    from repro.obs import JsonlTracer, MetricsRegistry
+    from repro.sim import StallError, run_heuristic
+
+    if args.scenario in _GENERATE_FAMILIES:
+        problem = _generate_problem(args.scenario, args.seed, args.size, args.tokens)
+        scenario_fields = {
+            "scenario": args.scenario,
+            "family": args.scenario,
+            "size": args.size,
+            "tokens": args.tokens,
+        }
+        default_stem = args.scenario
+    else:
+        problem = _load_problem(args.scenario)
+        scenario_fields = {"scenario": args.scenario}
+        default_stem = os.path.splitext(os.path.basename(args.scenario))[0]
+
+    if args.heuristic == "all":
+        field = standard_heuristics()
+    else:
+        heuristic = _resolve_heuristic(args.heuristic)
+        if heuristic is None:
+            print(
+                f"unknown heuristic {args.heuristic!r}; choose from "
+                f"{', '.join(sorted(HEURISTIC_FACTORIES))}, sequential, all",
+                file=sys.stderr,
+            )
+            return 2
+        field = [heuristic]
+
+    out = args.out if args.out is not None else f"{default_stem}.trace.jsonl"
+    metrics = MetricsRegistry() if args.profile else None
+    failures = 0
+    with JsonlTracer(path=out) as tracer:
+        tracer.emit(
+            "trace_header",
+            {**scenario_fields, "seed": args.seed, "heuristic": args.heuristic},
+        )
+        for heuristic in field:
+            try:
+                result = run_heuristic(
+                    problem, heuristic, seed=args.seed, tracer=tracer, metrics=metrics
+                )
+            except StallError as error:
+                failures += 1
+                print(f"{heuristic.name}: stalled ({error})", file=sys.stderr)
+                continue
+            print(
+                f"{heuristic.name}: success={result.success} "
+                f"makespan={result.makespan} bandwidth={result.bandwidth}"
+            )
+            if not result.success:
+                failures += 1
+    print(f"wrote {out}")
+    if metrics is not None:
+        print(metrics.render())
+    return 0 if failures == 0 else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import render_trace_file
+
+    print(render_trace_file(args.trace), end="")
+    return 0
+
+
+def _cmd_convert_telemetry(args) -> int:
+    from repro.obs import convert_telemetry
+
+    try:
+        total, upgraded = convert_telemetry(args.src, args.dst)
+    except (OSError, ValueError) as error:
+        print(f"convert-telemetry failed: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"wrote {args.dst}: {total} record(s), {upgraded} upgraded, "
+        f"{total - upgraded} already on the event schema"
+    )
+    return 0
 
 
 def _cmd_compare(args) -> int:
@@ -322,6 +493,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "convert-telemetry":
+        return _cmd_convert_telemetry(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

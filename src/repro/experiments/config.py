@@ -10,7 +10,8 @@ Executor defaults come from the environment so scripts inherit CLI-less
 configuration: ``REPRO_WORKERS`` (process count; <=1 means serial),
 ``REPRO_NO_CACHE=1`` (disable the result cache), ``REPRO_FORCE=1``
 (recompute despite cached entries), ``REPRO_CACHE_DIR`` (cache root,
-default ``results/cache``).
+default ``results/cache``), ``REPRO_TRACE_DIR`` (write per-point run
+traces there; off by default).
 """
 
 from __future__ import annotations
@@ -86,14 +87,16 @@ def default_executor_config(
     use_cache: Optional[bool] = None,
     force: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    trace_dir: Optional[str] = None,
 ) -> ExecutorConfig:
     """Executor knobs from the environment, with explicit overrides.
 
     Arguments that are ``None`` fall back to the ``REPRO_WORKERS`` /
-    ``REPRO_NO_CACHE`` / ``REPRO_FORCE`` / ``REPRO_CACHE_DIR``
-    environment variables, then to the library defaults (serial, cache
-    on — this is the CLI-facing default; programmatic driver calls that
-    construct a bare ``Executor()`` stay cache-free).
+    ``REPRO_NO_CACHE`` / ``REPRO_FORCE`` / ``REPRO_CACHE_DIR`` /
+    ``REPRO_TRACE_DIR`` environment variables, then to the library
+    defaults (serial, cache on, no tracing — this is the CLI-facing
+    default; programmatic driver calls that construct a bare
+    ``Executor()`` stay cache-free).
     """
     if workers is None:
         try:
@@ -108,10 +111,13 @@ def default_executor_config(
         cache_dir = os.environ.get(
             "REPRO_CACHE_DIR", os.path.join("results", "cache")
         )
+    if trace_dir is None:
+        trace_dir = os.environ.get("REPRO_TRACE_DIR") or None
     return ExecutorConfig(
         workers=max(1, workers),
         use_cache=use_cache,
         force=force,
         cache_dir=cache_dir,
         progress=True,
+        trace_dir=trace_dir,
     )

@@ -16,11 +16,19 @@ grid:
   ``results/cache/`` keyed by a stable hash of (point kind, params,
   seed, cache version), so re-running a figure only computes the
   missing points;
-* **telemetry** — one JSONL line per point (wall time, worker pid,
-  cache hit/miss, retries, point-reported stats) plus a progress line;
+* **telemetry** — one ``sweep_point`` event per point (wall time,
+  worker pid, cache hit/miss, retries, point-reported stats), written
+  as schema-versioned JSONL through the shared
+  :class:`repro.obs.events.EventWriter` (pre-schema files upgrade with
+  ``ocd-repro convert-telemetry``), plus a progress line;
+* **tracing** — with ``trace_dir`` set, every computed point activates
+  a :class:`repro.obs.JsonlTracer` around its point function, writing a
+  per-point run trace to ``trace_dir/<figure>-<kind>-<index>.jsonl``;
+  traces are per-process and deterministic, so serial and parallel
+  sweeps produce byte-identical trace files;
 * **failure policy** — a failing point is retried once and then
-  *reported* via :class:`SweepError`; points are never silently
-  dropped.
+  *reported* via :class:`SweepError` with the worker-side traceback
+  attached; points are never silently dropped.
 
 Parallel output is bit-identical to serial output by construction:
 results are returned in grid order regardless of completion order, and
@@ -39,6 +47,7 @@ import json
 import os
 import sys
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, replace
 from typing import (
     Any,
@@ -51,6 +60,10 @@ from typing import (
     TextIO,
     Tuple,
 )
+
+from repro.obs.events import EventWriter, make_event
+from repro.obs.log import get_logger
+from repro.obs.tracer import JsonlTracer, activated
 
 __all__ = [
     "CACHE_VERSION",
@@ -67,6 +80,8 @@ __all__ = [
 #: mean; every cache key embeds this, so old entries become unreachable
 #: rather than silently wrong.
 CACHE_VERSION = "1"
+
+_logger = get_logger(__name__)
 
 JsonDict = Dict[str, Any]
 PointFunction = Callable[["PointSpec"], JsonDict]
@@ -216,11 +231,43 @@ def resolve_point_function(kind: str) -> PointFunction:
         ) from None
 
 
-def _compute_point(spec: PointSpec) -> Tuple[JsonDict, float, int]:
+def _point_trace_path(trace_dir: str, spec: PointSpec) -> str:
+    """The deterministic per-point trace file for a spec."""
+    return os.path.join(
+        trace_dir, f"{spec.figure}-{spec.kind}-{spec.index:04d}.jsonl"
+    )
+
+
+def _compute_point(
+    spec: PointSpec, trace_dir: Optional[str] = None
+) -> Tuple[JsonDict, float, int]:
     """Worker entry: run one point, timing it.  Must stay module-level
-    so it is picklable by ProcessPoolExecutor."""
+    so it is picklable by ProcessPoolExecutor.
+
+    With ``trace_dir`` set, a :class:`JsonlTracer` is ambient for the
+    duration of the point function, so every engine it constructs
+    records into the point's trace file.  A retry reopens the file
+    fresh, so failed attempts never leave duplicate events behind.
+    """
     started = time.perf_counter()
-    result = resolve_point_function(spec.kind)(spec)
+    fn = resolve_point_function(spec.kind)
+    if trace_dir is None:
+        result = fn(spec)
+    else:
+        os.makedirs(trace_dir, exist_ok=True)
+        with JsonlTracer(path=_point_trace_path(trace_dir, spec)) as tracer:
+            tracer.emit(
+                "trace_header",
+                {
+                    "figure": spec.figure,
+                    "kind": spec.kind,
+                    "index": spec.index,
+                    "seed": spec.seed,
+                    "params": spec.params_dict(),
+                },
+            )
+            with activated(tracer):
+                result = fn(spec)
     if not isinstance(result, dict):
         raise TypeError(
             f"point function {spec.kind!r} must return a dict, "
@@ -245,6 +292,7 @@ class PointOutcome:
     retries: int
     ok: bool
     error: str = ""
+    traceback: str = ""
     stats: Optional[JsonDict] = None
 
     def as_row(self) -> JsonDict:
@@ -262,9 +310,15 @@ class PointOutcome:
         }
         if self.error:
             row["error"] = self.error
+        if self.traceback:
+            row["traceback"] = self.traceback
         if self.stats is not None:
             row["stats"] = self.stats
         return row
+
+    def as_event(self) -> JsonDict:
+        """This outcome as a schema-versioned ``sweep_point`` event."""
+        return make_event("sweep_point", self.as_row())
 
 
 class SweepError(RuntimeError):
@@ -282,6 +336,11 @@ class SweepError(RuntimeError):
                 f"  {outcome.spec.figure}/{outcome.spec.kind}"
                 f"[{outcome.spec.index}] seed={outcome.spec.seed}: {outcome.error}"
             )
+            if outcome.traceback:
+                lines.extend(
+                    "    | " + tb_line
+                    for tb_line in outcome.traceback.rstrip("\n").split("\n")
+                )
         super().__init__("\n".join(lines))
 
 
@@ -302,6 +361,10 @@ class ExecutorConfig:
     telemetry_path: Optional[str] = None
     progress: bool = False
     retries: int = 1
+    #: When set, every computed point writes a run trace to
+    #: ``trace_dir/<figure>-<kind>-<index>.jsonl`` (cache hits compute
+    #: nothing and therefore trace nothing).
+    trace_dir: Optional[str] = None
 
     def with_telemetry_default(self) -> "ExecutorConfig":
         """Fill in the default telemetry path under the cache dir."""
@@ -378,8 +441,9 @@ class Executor:
         if parent:
             os.makedirs(parent, exist_ok=True)
         with open(path, "a", encoding="utf-8") as handle:
+            writer = EventWriter(handle)
             for outcome in outcomes:
-                handle.write(json.dumps(outcome.as_row(), sort_keys=True) + "\n")
+                writer.write(outcome.as_event())
 
     # -- execution ------------------------------------------------------
     def _serial_point(
@@ -387,11 +451,15 @@ class Executor:
     ) -> Tuple[Optional[JsonDict], PointOutcome]:
         """Compute one point in-process, retrying on failure."""
         last_error = ""
+        last_traceback = ""
         for attempt in range(self.config.retries + 1):
             try:
-                result, wall_s, worker = _compute_point(spec)
+                result, wall_s, worker = _compute_point(
+                    spec, self.config.trace_dir
+                )
             except Exception as exc:  # noqa: BLE001 — reported, never dropped
                 last_error = f"{type(exc).__name__}: {exc}"
+                last_traceback = traceback_module.format_exc()
                 continue
             return result, PointOutcome(
                 spec=spec,
@@ -410,6 +478,7 @@ class Executor:
             retries=self.config.retries,
             ok=False,
             error=last_error,
+            traceback=last_traceback,
         )
 
     def _parallel_points(
@@ -425,10 +494,14 @@ class Executor:
         by grid index, so completion order never affects output order.
         """
         attempts: Dict[int, int] = {i: 0 for i in pending}
+        trace_dir = self.config.trace_dir
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.config.workers
         ) as pool:
-            futures = {pool.submit(_compute_point, specs[i]): i for i in pending}
+            futures = {
+                pool.submit(_compute_point, specs[i], trace_dir): i
+                for i in pending
+            }
             while futures:
                 done, _ = concurrent.futures.wait(
                     futures, return_when=concurrent.futures.FIRST_COMPLETED
@@ -440,8 +513,13 @@ class Executor:
                     except Exception as exc:  # noqa: BLE001
                         if attempts[i] < self.config.retries:
                             attempts[i] += 1
-                            futures[pool.submit(_compute_point, specs[i])] = i
+                            futures[
+                                pool.submit(_compute_point, specs[i], trace_dir)
+                            ] = i
                             continue
+                        # format_exception follows the __cause__ chain, so
+                        # the pool's _RemoteTraceback — the worker-side
+                        # stack — survives into the outcome.
                         outcomes[i] = PointOutcome(
                             spec=specs[i],
                             cache_hit=False,
@@ -450,6 +528,11 @@ class Executor:
                             retries=attempts[i],
                             ok=False,
                             error=f"{type(exc).__name__}: {exc}",
+                            traceback="".join(
+                                traceback_module.format_exception(
+                                    type(exc), exc, exc.__traceback__
+                                )
+                            ),
                         )
                         continue
                     results[i] = result
@@ -508,15 +591,17 @@ class Executor:
         final_outcomes = [o for o in outcomes if o is not None]
         failures = [o for o in final_outcomes if not o.ok]
         self._emit(final_outcomes)
-        if self.config.progress and specs:
+        if specs:
             hits = sum(1 for o in final_outcomes if o.cache_hit)
             elapsed = time.perf_counter() - started
-            print(
+            message = (
                 f"[sweep] {specs[0].figure}: {len(specs)} points "
                 f"({hits} cached, {len(specs) - hits} computed, "
-                f"workers={max(1, self.config.workers)}) in {elapsed:.1f}s",
-                file=self._stream,
+                f"workers={max(1, self.config.workers)}) in {elapsed:.1f}s"
             )
+            _logger.debug("%s", message)
+            if self.config.progress:
+                self._stream.write(message + "\n")
         if failures:
             raise SweepError(failures)
         return [result for result in results if result is not None]

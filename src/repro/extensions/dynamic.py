@@ -34,7 +34,16 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.problem import Arc, Problem
 from repro.core.schedule import Schedule, Timestep
 from repro.core.tokenset import TokenSet
-from repro.sim.engine import HeuristicProtocol, HeuristicViolation, RunResult, StepContext
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, current_tracer
+from repro.sim.engine import (
+    HeuristicProtocol,
+    HeuristicViolation,
+    RunResult,
+    StepContext,
+    emit_run_start,
+    emit_step_event,
+)
 from repro.sim.state import SimState
 
 __all__ = [
@@ -179,6 +188,8 @@ class DynamicEngine:
         rng: Optional[random.Random] = None,
         max_steps: Optional[int] = None,
         success_predicate: Optional[Callable[[Sequence[TokenSet]], bool]] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.conditions = conditions
         self.heuristic = heuristic
@@ -190,6 +201,8 @@ class DynamicEngine:
         # As in repro.sim.Engine: the default is the paper's predicate;
         # the coding extension substitutes threshold reconstruction.
         self.success_predicate = success_predicate
+        self.tracer: Tracer = tracer if tracer is not None else current_tracer()
+        self.metrics = metrics
 
     def run(self) -> RunResult:
         base = self.conditions.problem
@@ -198,6 +211,9 @@ class DynamicEngine:
         # never consults for state updates.
         state = SimState(base)
         possession = state.possession  # live list; read-only here
+        tracer = self.tracer
+        tracing = tracer.enabled
+        metrics = self.metrics
         steps: List[Timestep] = []
         predicate = self.success_predicate
 
@@ -206,6 +222,11 @@ class DynamicEngine:
                 return predicate(possession)
             return state.satisfied()
 
+        heuristic_name = f"{self.heuristic.name}@{self.conditions.name}"
+        if tracing:
+            emit_run_start(
+                tracer, "dynamic", base, heuristic_name, state, self.max_steps
+            )
         success = satisfied()
         reset_for: Optional[Problem] = None
         while not success and len(steps) < self.max_steps:
@@ -224,7 +245,11 @@ class DynamicEngine:
                 self.rng,
                 state=state,
             )
-            proposal = self.heuristic.propose(ctx)
+            if metrics is not None:
+                with metrics.timer("heuristic_select"):
+                    proposal = self.heuristic.propose(ctx)
+            else:
+                proposal = self.heuristic.propose(ctx)
             sends: Dict[Tuple[int, int], TokenSet] = {}
             for (src, dst), tokens in proposal.items():
                 if not tokens:
@@ -245,14 +270,42 @@ class DynamicEngine:
                 sends[(src, dst)] = tokens
             timestep = Timestep(sends)
             steps.append(timestep)
-            state.apply_timestep(timestep)
+            version_before = state.version
+            if metrics is not None:
+                with metrics.timer("kernel_apply"):
+                    state.apply_timestep(timestep)
+            else:
+                state.apply_timestep(timestep)
+            if tracing:
+                emit_step_event(
+                    tracer,
+                    current,
+                    state,
+                    timestep,
+                    step_index,
+                    version_before,
+                    extra={"arcs_up": len(current.arcs)},
+                )
+            if metrics is not None:
+                metrics.counter("steps").inc()
+                metrics.gauge("deficit").set(state.total_deficit)
             success = satisfied()
-        return RunResult(
+        result = RunResult(
             problem=base,
-            heuristic_name=f"{self.heuristic.name}@{self.conditions.name}",
+            heuristic_name=heuristic_name,
             schedule=Schedule(steps),
             success=success,
         )
+        if tracing:
+            tracer.emit(
+                "run_end",
+                {
+                    "success": result.success,
+                    "makespan": result.makespan,
+                    "bandwidth": result.bandwidth,
+                },
+            )
+        return result
 
 
 def run_dynamic(
@@ -260,10 +313,17 @@ def run_dynamic(
     heuristic: HeuristicProtocol,
     seed: int = 0,
     max_steps: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """One-call wrapper around :class:`DynamicEngine`."""
     return DynamicEngine(
-        conditions, heuristic, rng=random.Random(seed), max_steps=max_steps
+        conditions,
+        heuristic,
+        rng=random.Random(seed),
+        max_steps=max_steps,
+        tracer=tracer,
+        metrics=metrics,
     ).run()
 
 

@@ -23,7 +23,14 @@ from repro.core.problem import Problem
 from repro.core.schedule import Schedule, Timestep
 from repro.core.tokenset import TokenSet
 from repro.locd.knowledge import Knowledge, initial_knowledge
-from repro.sim.engine import HeuristicViolation, RunResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, current_tracer
+from repro.sim.engine import (
+    HeuristicViolation,
+    RunResult,
+    emit_run_start,
+    emit_step_event,
+)
 from repro.sim.state import SimState
 
 __all__ = ["LocalAlgorithm", "LocalEngine", "run_local"]
@@ -47,7 +54,14 @@ class LocalAlgorithm(Protocol):
 
 
 class LocalEngine:
-    """Synchronous LOCD simulation with per-vertex knowledge."""
+    """Synchronous LOCD simulation with per-vertex knowledge.
+
+    ``tracer``/``metrics`` mirror :class:`repro.sim.Engine`: the tracer
+    defaults to the ambient one (disabled unless activated), and the
+    metrics registry — when given — receives the ``heuristic_select`` /
+    ``kernel_apply`` / ``knowledge_flood`` phase timers.  Step events
+    additionally carry ``facts_learned``, the gossip cost of the step.
+    """
 
     def __init__(
         self,
@@ -55,6 +69,8 @@ class LocalEngine:
         algorithm: LocalAlgorithm,
         rng: Optional[random.Random] = None,
         max_steps: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.problem = problem
         self.algorithm = algorithm
@@ -62,74 +78,143 @@ class LocalEngine:
         if max_steps is None:
             max_steps = 4 * max(problem.move_bound(), 1) + 4 * problem.num_vertices + 64
         self.max_steps = max_steps
+        self.tracer: Tracer = tracer if tracer is not None else current_tracer()
+        self.metrics = metrics
+
+    def _decide_step(
+        self,
+        step_index: int,
+        knowledge: List[Knowledge],
+        possession: List[TokenSet],
+    ) -> Dict[Tuple[int, int], TokenSet]:
+        """Collect and validate every vertex's sends for one timestep."""
+        problem = self.problem
+        sends: Dict[Tuple[int, int], TokenSet] = {}
+        for v in range(problem.num_vertices):
+            proposal = self.algorithm.decide(step_index, knowledge[v], self.rng)
+            for (src, dst), tokens in proposal.items():
+                if not tokens:
+                    continue
+                if src != v:
+                    raise HeuristicViolation(
+                        f"step {step_index}: vertex {v} proposed a send "
+                        f"out of vertex {src}"
+                    )
+                if not problem.has_arc(src, dst):
+                    raise HeuristicViolation(
+                        f"step {step_index}: no arc ({src}, {dst})"
+                    )
+                if len(tokens) > problem.capacity(src, dst):
+                    raise HeuristicViolation(
+                        f"step {step_index}: arc ({src}, {dst}) over capacity"
+                    )
+                if not tokens <= possession[src]:
+                    raise HeuristicViolation(
+                        f"step {step_index}: vertex {src} sent unpossessed "
+                        f"tokens {sorted(tokens - possession[src])}"
+                    )
+                sends[(src, dst)] = tokens
+        return sends
+
+    def _flood_knowledge(
+        self,
+        knowledge: List[Knowledge],
+        arrivals: Dict[int, int],
+    ) -> int:
+        """Merge neighbor knowledge and record arrivals; return new facts."""
+        problem = self.problem
+        learned = 0
+        snapshots = [k.snapshot() for k in knowledge]
+        for v in range(problem.num_vertices):
+            before = knowledge[v].size_facts()
+            for u in problem.neighbors(v):
+                knowledge[v].merge_from(snapshots[u])
+            learned += knowledge[v].size_facts() - before
+            if v in arrivals:
+                knowledge[v].record_own_possession(TokenSet(arrivals[v]))
+        return learned
 
     def run(self) -> RunResult:
         problem = self.problem
         state = SimState(problem)
         possession = state.possession  # live list; read-only here
+        tracer = self.tracer
+        tracing = tracer.enabled
+        metrics = self.metrics
         knowledge: List[Knowledge] = [
             initial_knowledge(problem, v) for v in range(problem.num_vertices)
         ]
         self.algorithm.reset(problem.num_vertices, self.rng)
         steps: List[Timestep] = []
         knowledge_cost = 0
+        if tracing:
+            emit_run_start(
+                tracer, "locd", problem, self.algorithm.name, state, self.max_steps
+            )
 
         success = state.satisfied()
         while not success and len(steps) < self.max_steps:
             step_index = len(steps)
             # 1. Decisions from local knowledge only.
-            sends: Dict[Tuple[int, int], TokenSet] = {}
-            for v in range(problem.num_vertices):
-                proposal = self.algorithm.decide(step_index, knowledge[v], self.rng)
-                for (src, dst), tokens in proposal.items():
-                    if not tokens:
-                        continue
-                    if src != v:
-                        raise HeuristicViolation(
-                            f"step {step_index}: vertex {v} proposed a send "
-                            f"out of vertex {src}"
-                        )
-                    if not problem.has_arc(src, dst):
-                        raise HeuristicViolation(
-                            f"step {step_index}: no arc ({src}, {dst})"
-                        )
-                    if len(tokens) > problem.capacity(src, dst):
-                        raise HeuristicViolation(
-                            f"step {step_index}: arc ({src}, {dst}) over capacity"
-                        )
-                    if not tokens <= possession[src]:
-                        raise HeuristicViolation(
-                            f"step {step_index}: vertex {src} sent unpossessed "
-                            f"tokens {sorted(tokens - possession[src])}"
-                        )
-                    sends[(src, dst)] = tokens
+            if metrics is not None:
+                with metrics.timer("heuristic_select"):
+                    sends = self._decide_step(step_index, knowledge, possession)
+            else:
+                sends = self._decide_step(step_index, knowledge, possession)
             timestep = Timestep(sends)
             steps.append(timestep)
 
             # 2. Apply token movement through the shared kernel.  The
             # raw arrivals (including already-held tokens) feed step 3:
             # a vertex records everything it was sent, not just gains.
-            arrivals = state.apply_timestep(timestep)
+            version_before = state.version
+            if metrics is not None:
+                with metrics.timer("kernel_apply"):
+                    arrivals = state.apply_timestep(timestep)
+            else:
+                arrivals = state.apply_timestep(timestep)
 
             # 3. Gossip: merge the *previous* knowledge of both-direction
             # neighbors, then record own arrivals.
-            snapshots = [k.snapshot() for k in knowledge]
-            for v in range(problem.num_vertices):
-                before = knowledge[v].size_facts()
-                for u in problem.neighbors(v):
-                    knowledge[v].merge_from(snapshots[u])
-                knowledge_cost += knowledge[v].size_facts() - before
-                if v in arrivals:
-                    knowledge[v].record_own_possession(TokenSet(arrivals[v]))
+            if metrics is not None:
+                with metrics.timer("knowledge_flood"):
+                    learned = self._flood_knowledge(knowledge, arrivals)
+            else:
+                learned = self._flood_knowledge(knowledge, arrivals)
+            knowledge_cost += learned
+            if tracing:
+                emit_step_event(
+                    tracer,
+                    problem,
+                    state,
+                    timestep,
+                    step_index,
+                    version_before,
+                    extra={"facts_learned": learned},
+                )
+            if metrics is not None:
+                metrics.counter("steps").inc()
+                metrics.counter("facts_learned").inc(learned)
 
             success = state.satisfied()
-        return RunResult(
+        result = RunResult(
             problem=problem,
             heuristic_name=self.algorithm.name,
             schedule=Schedule(steps),
             success=success,
             knowledge_cost=knowledge_cost,
         )
+        if tracing:
+            tracer.emit(
+                "run_end",
+                {
+                    "success": result.success,
+                    "makespan": result.makespan,
+                    "bandwidth": result.bandwidth,
+                    "knowledge_cost": knowledge_cost,
+                },
+            )
+        return result
 
 
 def run_local(
@@ -137,8 +222,15 @@ def run_local(
     algorithm: LocalAlgorithm,
     seed: int = 0,
     max_steps: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """One-call convenience wrapper around :class:`LocalEngine`."""
     return LocalEngine(
-        problem, algorithm, rng=random.Random(seed), max_steps=max_steps
+        problem,
+        algorithm,
+        rng=random.Random(seed),
+        max_steps=max_steps,
+        tracer=tracer,
+        metrics=metrics,
     ).run()

@@ -1,0 +1,89 @@
+"""``repro.obs`` — run traces, metrics, profiling, and library logging.
+
+The observability layer for every simulation loop in the repository
+(see ``docs/OBSERVABILITY.md`` for the guide):
+
+* :class:`Tracer` / :class:`NullTracer` / :class:`JsonlTracer` /
+  :class:`RecordingTracer` — per-timestep run tracing with a
+  zero-overhead disabled default (:data:`NULL_TRACER`); engines resolve
+  the ambient tracer (:func:`current_tracer`, :func:`activated`) unless
+  given one explicitly.
+* :mod:`repro.obs.events` — the versioned JSONL event schema shared by
+  run traces and sweep telemetry (:data:`SCHEMA_VERSION`,
+  :func:`make_event`, :class:`EventWriter`, :func:`read_events`).
+* :class:`MetricsRegistry` — counters/gauges/histograms plus the
+  engines' phase timers (``heuristic_select``, ``kernel_apply``,
+  ``knowledge_flood``) behind ``--profile``.
+* :func:`get_logger` — library logging instead of ``print()``
+  (enforced by ocdlint OCD007).
+* :func:`render_trace_file` / :func:`render_report` — the
+  ``ocd-repro report`` timeline renderer.
+* :func:`convert_telemetry` — one-shot upgrade of pre-schema sweep
+  telemetry files.
+"""
+
+from repro.obs.convert import convert_telemetry, upgrade_record
+from repro.obs.events import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    EventWriter,
+    dump_event,
+    is_event,
+    iter_events,
+    make_event,
+    read_events,
+)
+from repro.obs.log import enable_console_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PhaseTimer,
+)
+from repro.obs.report import (
+    RunTimeline,
+    load_timelines,
+    render_report,
+    render_trace_file,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+    activated,
+    current_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_KINDS",
+    "EventWriter",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseTimer",
+    "RecordingTracer",
+    "RunTimeline",
+    "SCHEMA_VERSION",
+    "Tracer",
+    "activated",
+    "convert_telemetry",
+    "current_tracer",
+    "dump_event",
+    "enable_console_logging",
+    "get_logger",
+    "is_event",
+    "iter_events",
+    "load_timelines",
+    "make_event",
+    "read_events",
+    "render_report",
+    "render_trace_file",
+    "upgrade_record",
+]

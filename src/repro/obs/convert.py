@@ -1,0 +1,73 @@
+"""One-shot upgrade of pre-schema telemetry JSONL to the event schema.
+
+Before the observability layer, the sweep executor wrote one bare JSON
+object per point (``figure``/``kind``/``index``/``wall_s``/…) with no
+schema envelope.  Those files stay readable: :func:`convert_telemetry`
+rewrites them as ``sweep_point`` events under the current
+``schema_version``, leaving records that already carry the envelope
+untouched — so the converter is idempotent and safe to run on mixed
+files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+from repro.obs.events import dump_event, is_event, make_event
+
+__all__ = ["convert_telemetry", "upgrade_record"]
+
+#: Fields every legacy executor telemetry row carried; used to recognise
+#: legacy rows so arbitrary JSONL is rejected instead of mislabeled.
+_LEGACY_REQUIRED = frozenset({"figure", "kind", "index", "ok"})
+
+
+def upgrade_record(obj: Dict[str, Any]) -> Dict[str, Any]:
+    """One record, upgraded: envelope added to legacy rows, events kept.
+
+    Raises ``ValueError`` for records that are neither schema events nor
+    recognisable legacy telemetry rows.
+    """
+    if is_event(obj):
+        return obj
+    if _LEGACY_REQUIRED <= set(obj):
+        return make_event("sweep_point", obj)
+    raise ValueError(
+        f"record is neither a schema event nor a legacy telemetry row "
+        f"(fields: {', '.join(sorted(obj)) or 'none'})"
+    )
+
+
+def convert_telemetry(src: str, dst: str) -> Tuple[int, int]:
+    """Rewrite ``src`` JSONL into ``dst`` under the event schema.
+
+    Returns ``(total, upgraded)`` record counts.  ``dst`` must differ
+    from ``src`` — the converter never rewrites in place.
+    """
+    if src == dst:
+        raise ValueError("refusing to convert in place; pass a distinct output path")
+    total = 0
+    upgraded = 0
+    with open(src, encoding="utf-8") as inp, open(
+        dst, "w", encoding="utf-8"
+    ) as out:
+        for lineno, line in enumerate(inp, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{src}:{lineno}: not JSON: {exc}") from None
+            if not isinstance(obj, dict):
+                raise ValueError(f"{src}:{lineno}: expected a JSON object")
+            was_event = is_event(obj)
+            try:
+                event = upgrade_record(obj)
+            except ValueError as exc:
+                raise ValueError(f"{src}:{lineno}: {exc}") from None
+            out.write(dump_event(event) + "\n")
+            total += 1
+            upgraded += 0 if was_event else 1
+    return total, upgraded

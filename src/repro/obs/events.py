@@ -1,0 +1,151 @@
+"""The versioned observability event schema and its one canonical writer.
+
+Every JSONL record the repository emits — per-timestep run traces from
+the engines, per-point telemetry from the sweep executor — is an *event*:
+a flat JSON object carrying ``schema_version`` (the integer schema
+revision) and ``event`` (the record kind), plus kind-specific fields.
+One schema means one toolchain: ``repro report`` renders traces, the
+telemetry analysis notebooks read sweep rows, and both can live in the
+same file without ambiguity.
+
+Serialization is canonical — sorted keys, compact separators, ``\\n``
+terminated — so an event stream is a deterministic function of its
+payloads and byte-comparison of two traces is meaningful.  Nothing here
+may reach for wall-clock time or process identity; events that need
+those (sweep telemetry) receive them as explicit payload fields, and
+run-trace events carry none so identical seeds yield identical bytes.
+
+Event kinds
+-----------
+``trace_header``
+    First line of a trace file: scenario identification (problem name,
+    sizes, engine kind, seed or sweep-point coordinates).
+``run_start`` / ``step`` / ``stall`` / ``run_end``
+    One simulated run.  ``step`` carries the per-timestep dynamics the
+    paper argues from: tokens moved and gained, the remaining per-vertex
+    deficit, the holder-count histogram, and arc utilization.
+``sweep_point``
+    One executed (or cache-served) sweep grid point — the executor's
+    telemetry row (see :mod:`repro.experiments.sweep`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Mapping, Optional, TextIO
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "EventWriter",
+    "dump_event",
+    "is_event",
+    "iter_events",
+    "make_event",
+    "read_events",
+]
+
+#: Bump when a field changes meaning or is removed; readers dispatch on
+#: it, and the converter in :mod:`repro.obs.convert` upgrades old files.
+SCHEMA_VERSION = 1
+
+#: The known event kinds, for validation and docs.
+EVENT_KINDS = (
+    "trace_header",
+    "run_start",
+    "step",
+    "stall",
+    "run_end",
+    "sweep_point",
+)
+
+JsonDict = Dict[str, Any]
+
+
+def make_event(kind: str, fields: Mapping[str, Any]) -> JsonDict:
+    """Build one schema-stamped event dict.
+
+    ``fields`` must not shadow the envelope keys; unknown kinds are
+    rejected so typos fail at emission time, not at read time.
+    """
+    if kind not in EVENT_KINDS:
+        raise ValueError(
+            f"unknown event kind {kind!r}; known: {', '.join(EVENT_KINDS)}"
+        )
+    if "event" in fields or "schema_version" in fields:
+        raise ValueError("event fields must not shadow the schema envelope")
+    event: JsonDict = {"schema_version": SCHEMA_VERSION, "event": kind}
+    event.update(fields)
+    return event
+
+
+def is_event(obj: Any) -> bool:
+    """Whether ``obj`` is a schema-versioned event record."""
+    return (
+        isinstance(obj, dict)
+        and isinstance(obj.get("schema_version"), int)
+        and isinstance(obj.get("event"), str)
+    )
+
+
+def dump_event(event: Mapping[str, Any]) -> str:
+    """Canonical single-line serialization (sorted keys, compact, no NaN).
+
+    Every writer in the repository goes through this function, which is
+    what makes byte-comparison of traces meaningful.
+    """
+    return json.dumps(
+        event, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+class EventWriter:
+    """Append-only JSONL writer over an open text handle.
+
+    The writer owns serialization, never the handle's lifetime — callers
+    (tracers, the sweep executor) decide when to open, flush, and close.
+    """
+
+    def __init__(self, handle: TextIO) -> None:
+        self._handle = handle
+
+    def write(self, event: Mapping[str, Any]) -> None:
+        if not is_event(event):
+            raise ValueError(
+                "refusing to write a record without the schema envelope; "
+                "build it with repro.obs.make_event"
+            )
+        self._handle.write(dump_event(event) + "\n")
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+
+def read_events(path: str, kind: Optional[str] = None) -> List[JsonDict]:
+    """Load every event from a JSONL file (optionally one kind).
+
+    Raises ``ValueError`` on a line that is not a schema-versioned event
+    — feed legacy telemetry through :mod:`repro.obs.convert` first.
+    """
+    return list(iter_events(path, kind=kind))
+
+
+def iter_events(path: str, kind: Optional[str] = None) -> Iterator[JsonDict]:
+    """Stream events from a JSONL file without loading it whole."""
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+            if not is_event(obj):
+                raise ValueError(
+                    f"{path}:{lineno}: record lacks the schema envelope "
+                    f"(schema_version/event); convert legacy telemetry with "
+                    f"`ocd-repro convert-telemetry`"
+                )
+            if kind is None or obj["event"] == kind:
+                yield obj

@@ -1,0 +1,211 @@
+"""Counters, gauges, histograms, and phase timers for profiling runs.
+
+A :class:`MetricsRegistry` is an explicit, injectable bag of named
+instruments — no process-global state, so two concurrent profiled runs
+cannot contaminate each other and tests can assert on exactly what one
+run recorded.
+
+The model packages themselves may not consult wall-clock time (ocdlint
+OCD004 enforces this: the simulation is synchronous, timesteps are
+integers).  All timing therefore lives *here*, behind the
+:meth:`MetricsRegistry.timer` context manager: an engine writes
+
+.. code-block:: python
+
+    if metrics is not None:
+        with metrics.timer("heuristic_select"):
+            proposal = heuristic.propose(ctx)
+    else:
+        proposal = heuristic.propose(ctx)
+
+so the unprofiled path never touches a clock and the profiled path
+attributes wall time to named phases.  The standard phase names used by
+the engines are ``heuristic_select`` (proposal construction),
+``kernel_apply`` (validation + possession update), and
+``knowledge_flood`` (LOCD gossip merge).
+
+Timings are wall-clock and therefore nondeterministic; they belong in
+``--profile`` summaries and must never be written into run traces,
+which are byte-identical across identical seeds by contract.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseTimer",
+]
+
+
+class Counter:
+    """A monotone event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins level (e.g. the current total deficit)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max.
+
+    Deliberately bucketless — the per-timestep distributions worth
+    plotting live in the trace events; this is for profile summaries.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class PhaseTimer:
+    """Accumulated wall time and entry count for one named phase."""
+
+    __slots__ = ("name", "calls", "seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.calls += 1
+        self.seconds += seconds
+
+
+class MetricsRegistry:
+    """Named instruments plus the phase timers of one profiled run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, PhaseTimer] = {}
+
+    # -- instrument access (get-or-create, stable identity) -------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    def phase(self, name: str) -> PhaseTimer:
+        inst = self._timers.get(name)
+        if inst is None:
+            inst = self._timers[name] = PhaseTimer(name)
+        return inst
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Attribute the block's wall time to phase ``name``."""
+        phase = self.phase(name)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            phase.add(time.perf_counter() - started)
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able view of everything recorded so far."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "mean": h.mean,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+            "phases": {
+                n: {"calls": t.calls, "seconds": t.seconds}
+                for n, t in sorted(self._timers.items())
+            },
+        }
+
+    def render(self) -> str:
+        """The ``--profile`` summary: phases ranked by time, then stats."""
+        lines: List[str] = []
+        if self._timers:
+            lines.append("phase               calls      total      per-call")
+            total = sum(t.seconds for t in self._timers.values())
+            by_time = sorted(
+                self._timers.values(), key=lambda t: (-t.seconds, t.name)
+            )
+            for t in by_time:
+                share = f" ({t.seconds / total:5.1%})" if total > 0 else ""
+                per_call = t.seconds / t.calls if t.calls else 0.0
+                lines.append(
+                    f"{t.name:<18} {t.calls:>6} {t.seconds:>9.4f}s "
+                    f"{per_call * 1e6:>9.1f}us{share}"
+                )
+        for name, c in sorted(self._counters.items()):
+            lines.append(f"counter {name} = {c.value}")
+        for name, g in sorted(self._gauges.items()):
+            lines.append(f"gauge {name} = {g.value:g}")
+        for name, h in sorted(self._histograms.items()):
+            if h.count:
+                lines.append(
+                    f"hist {name}: n={h.count} mean={h.mean:g} "
+                    f"min={h.min:g} max={h.max:g}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

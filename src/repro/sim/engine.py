@@ -33,6 +33,8 @@ from repro.core.metrics import ScheduleMetrics, evaluate_schedule
 from repro.core.problem import Problem
 from repro.core.schedule import Schedule, Timestep
 from repro.core.tokenset import TokenSet
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, current_tracer
 from repro.sim.state import SimState
 
 __all__ = [
@@ -44,6 +46,8 @@ __all__ = [
     "RunResult",
     "Engine",
     "run_heuristic",
+    "emit_run_start",
+    "emit_step_event",
 ]
 
 Proposal = Mapping[Tuple[int, int], TokenSet]
@@ -162,6 +166,78 @@ class RunResult:
         return evaluate_schedule(self.problem, self.schedule)
 
 
+def emit_run_start(
+    tracer: Tracer,
+    engine: str,
+    problem: Problem,
+    heuristic: str,
+    state: SimState,
+    max_steps: int,
+) -> None:
+    """Emit the ``run_start`` event every simulation loop shares.
+
+    Only deterministic facts of the instance and configuration — never
+    wall-clock or process identity — so traces from identical seeds are
+    byte-identical (the determinism suite compares raw bytes).
+    """
+    tracer.emit(
+        "run_start",
+        {
+            "engine": engine,
+            "heuristic": heuristic,
+            "problem": problem.name,
+            "n": problem.num_vertices,
+            "tokens": problem.num_tokens,
+            "arcs": len(problem.arcs),
+            "max_steps": max_steps,
+            "total_deficit": state.total_deficit,
+        },
+    )
+
+
+def emit_step_event(
+    tracer: Tracer,
+    problem: Problem,
+    state: SimState,
+    timestep: Timestep,
+    step: int,
+    version_before: int,
+    extra: Optional[Mapping[str, int]] = None,
+) -> None:
+    """Emit one per-timestep ``step`` event from the kernel's live state.
+
+    Carries the dynamics the end-of-run aggregates hide: tokens moved
+    and actually gained, the remaining per-vertex deficit, the
+    holder-count histogram (rarest-token starvation shows up here), and
+    arc utilization.  Callers only reach this behind a hoisted
+    ``tracer.enabled`` check, so the untraced hot path never builds any
+    of these payloads.
+    """
+    moves = 0
+    for tokens in timestep.sends.values():
+        moves += len(tokens)
+    gained = 0
+    for _vertex, mask in state.gains_since(version_before):
+        gained += mask.bit_count()
+    hist: Dict[int, int] = {}
+    for count in state.holder_counts:
+        hist[count] = hist.get(count, 0) + 1
+    num_arcs = len(problem.arcs)
+    fields: Dict[str, object] = {
+        "step": step,
+        "sends": len(timestep.sends),
+        "moves": moves,
+        "gained": gained,
+        "deficit": state.total_deficit,
+        "deficit_by_vertex": list(state.deficit),
+        "holder_hist": [[count, hist[count]] for count in sorted(hist)],
+        "arc_util": round(len(timestep.sends) / num_arcs, 6) if num_arcs else 0.0,
+    }
+    if extra:
+        fields.update(extra)
+    tracer.emit("step", fields)
+
+
 class Engine:
     """Drives one heuristic over one problem to completion.
 
@@ -185,6 +261,16 @@ class Engine:
         state can never change again.  No-gain steps with non-empty
         proposals (e.g. Round-Robin cycling past tokens the peer already
         holds) are not stalls and simply count toward ``max_steps``.
+    tracer:
+        Trace sink for per-timestep events (:mod:`repro.obs`).  ``None``
+        resolves the ambient tracer (:func:`repro.obs.current_tracer`),
+        which defaults to the disabled :data:`repro.obs.NULL_TRACER` —
+        the hot path then pays one hoisted boolean check per run.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` receiving the phase
+        timers (``heuristic_select``, ``kernel_apply``) and run counters
+        behind ``--profile``.  ``None`` (the default) skips all timing —
+        wall-clock never enters the unprofiled path.
     """
 
     def __init__(
@@ -197,6 +283,8 @@ class Engine:
         success_predicate: Optional[
             Callable[[Sequence[TokenSet]], bool]
         ] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.problem = problem
         self.heuristic = heuristic
@@ -205,6 +293,8 @@ class Engine:
             max_steps = 4 * max(problem.move_bound(), 1) + 64
         self.max_steps = max_steps
         self.stall_limit = stall_limit
+        self.tracer: Tracer = tracer if tracer is not None else current_tracer()
+        self.metrics = metrics
         # The default predicate is the paper's: w(v) ⊆ p_t(v) everywhere.
         # Extensions (e.g. threshold coding, §6) substitute their own.
         self.success_predicate = success_predicate
@@ -217,6 +307,11 @@ class Engine:
         problem = self.problem
         state = SimState(problem)
         predicate = self.success_predicate
+        # Hoisted once per run: the untraced/unprofiled loop below never
+        # touches the tracer again and never consults a clock.
+        tracer = self.tracer
+        tracing = tracer.enabled
+        metrics = self.metrics
 
         def satisfied() -> bool:
             if predicate is not None:
@@ -226,6 +321,10 @@ class Engine:
         self.heuristic.reset(problem, self.rng)
         steps: List[Timestep] = []
         stalled_for = 0
+        if tracing:
+            emit_run_start(
+                tracer, "sim", problem, self.heuristic.name, state, self.max_steps
+            )
 
         success = satisfied()
         while not success and len(steps) < self.max_steps:
@@ -237,14 +336,32 @@ class Engine:
                 self.rng,
                 state=state,
             )
-            proposal = self.heuristic.propose(ctx)
-            timestep, arrivals = self._validated_timestep(
-                proposal, state.possession_masks, len(steps)
-            )
+            if metrics is not None:
+                with metrics.timer("heuristic_select"):
+                    proposal = self.heuristic.propose(ctx)
+            else:
+                proposal = self.heuristic.propose(ctx)
             version_before = state.version
-            state.apply_arrivals(arrivals)
+            if metrics is not None:
+                with metrics.timer("kernel_apply"):
+                    timestep, arrivals = self._validated_timestep(
+                        proposal, state.possession_masks, len(steps)
+                    )
+                    state.apply_arrivals(arrivals)
+            else:
+                timestep, arrivals = self._validated_timestep(
+                    proposal, state.possession_masks, len(steps)
+                )
+                state.apply_arrivals(arrivals)
             progressed = state.version != version_before
             steps.append(timestep)
+            if tracing:
+                emit_step_event(
+                    tracer, problem, state, timestep, len(steps) - 1, version_before
+                )
+            if metrics is not None:
+                metrics.counter("steps").inc()
+                metrics.gauge("deficit").set(state.total_deficit)
             success = satisfied()
             if success:
                 break
@@ -252,6 +369,15 @@ class Engine:
                 stalled_for = 0
                 continue
             if not state.any_useful_arc():
+                if tracing:
+                    tracer.emit(
+                        "stall",
+                        {
+                            "step": len(steps) - 1,
+                            "consecutive": stalled_for + 1,
+                            "terminal": True,
+                        },
+                    )
                 raise StallError(
                     f"no arc carries a useful token at step {len(steps)} while "
                     f"demand remains; the instance is unsatisfiable from this state"
@@ -260,18 +386,33 @@ class Engine:
                 stalled_for = 0
             else:
                 stalled_for += 1
+                if tracing:
+                    tracer.emit(
+                        "stall",
+                        {"step": len(steps) - 1, "consecutive": stalled_for},
+                    )
                 if stalled_for >= self.stall_limit:
                     raise StallError(
                         f"heuristic {self.heuristic.name!r} proposed nothing for "
                         f"{stalled_for} consecutive timesteps at step {len(steps)} "
                         f"with demand remaining"
                     )
-        return RunResult(
+        result = RunResult(
             problem=problem,
             heuristic_name=self.heuristic.name,
             schedule=Schedule(steps),
             success=success,
         )
+        if tracing:
+            tracer.emit(
+                "run_end",
+                {
+                    "success": result.success,
+                    "makespan": result.makespan,
+                    "bandwidth": result.bandwidth,
+                },
+            )
+        return result
 
     # ------------------------------------------------------------------
     def _validated_timestep(
@@ -318,8 +459,15 @@ def run_heuristic(
     heuristic: HeuristicProtocol,
     seed: int = 0,
     max_steps: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunResult:
     """One-call convenience wrapper around :class:`Engine`."""
     return Engine(
-        problem, heuristic, rng=random.Random(seed), max_steps=max_steps
+        problem,
+        heuristic,
+        rng=random.Random(seed),
+        max_steps=max_steps,
+        tracer=tracer,
+        metrics=metrics,
     ).run()

@@ -147,7 +147,7 @@ class TestUnsortedSetIteration:
         src = """
         def emit():
             for v in {3, 1, 2}:
-                print(v)
+                consume(v)
         """
         assert codes(src) == ["OCD003"]
 
@@ -155,7 +155,7 @@ class TestUnsortedSetIteration:
         src = """
         def emit(xs):
             for v in set(xs):
-                print(v)
+                consume(v)
         """
         assert codes(src) == ["OCD003"]
 
@@ -171,7 +171,7 @@ class TestUnsortedSetIteration:
         src = """
         def emit(relays: "Set[int]"):
             for r in relays:
-                print(r)
+                consume(r)
         """
         assert codes(src) == ["OCD003"]
 
@@ -181,7 +181,7 @@ class TestUnsortedSetIteration:
             have = set(xs)
             want = set(xs)
             for v in want - have:
-                print(v)
+                consume(v)
         """
         assert codes(src) == ["OCD003"]
 
@@ -190,7 +190,7 @@ class TestUnsortedSetIteration:
         def emit(xs):
             relays = set(xs)
             for r in sorted(relays):
-                print(r)
+                consume(r)
         """
         assert codes(src) == []
 
@@ -198,7 +198,7 @@ class TestUnsortedSetIteration:
         src = """
         def emit(xs):
             for i, r in enumerate(sorted(set(xs))):
-                print(i, r)
+                consume(i, r)
         """
         assert codes(src) == []
 
@@ -208,7 +208,7 @@ class TestUnsortedSetIteration:
             relays = set(xs)
             relays = sorted(relays)
             for r in relays:
-                print(r)
+                consume(r)
         """
         assert codes(src) == []
 
@@ -220,7 +220,7 @@ class TestUnsortedSetIteration:
 
         def b(edges):
             for e in edges:
-                print(e)
+                consume(e)
         """
         assert codes(src) == []
 
@@ -229,7 +229,7 @@ class TestUnsortedSetIteration:
         def emit(xs):
             items = list(xs)
             for v in items:
-                print(v)
+                consume(v)
         """
         assert codes(src) == []
 
@@ -371,3 +371,62 @@ class TestPublicAnnotation:
             return x
         """
         assert codes(src, path=HEUR) == []
+
+
+# ======================================================================
+# OCD007 — bare-print
+# ======================================================================
+class TestBarePrint:
+    def test_library_print_flagged(self):
+        src = """
+        def solve(problem):
+            print("solving", problem)
+        """
+        assert codes(src, path=SIM) == ["OCD007"]
+
+    def test_message_suggests_obs_logger(self):
+        diags = lint("print('hi')\n", path=EXPERIMENTS, select="OCD007")
+        assert len(diags) == 1
+        assert "repro.obs.get_logger" in diags[0].message
+
+    def test_print_with_stream_still_flagged(self):
+        src = """
+        import sys
+
+        def emit(msg):
+            print(msg, file=sys.stderr)
+        """
+        assert codes(src, path=EXPERIMENTS) == ["OCD007"]
+
+    def test_obs_library_module_covered(self):
+        assert codes("print('x')\n", path="src/repro/obs/metrics.py") == ["OCD007"]
+
+    def test_cli_module_exempt(self):
+        assert codes("print('usage: ...')\n", path="src/repro/cli.py") == []
+
+    def test_package_local_cli_exempt(self):
+        assert codes("print('x')\n", path="src/repro/checks/cli.py") == []
+
+    def test_report_renderer_exempt(self):
+        assert codes("print('x')\n", path="src/repro/obs/report.py") == []
+
+    def test_dunder_main_exempt(self):
+        assert codes("print('x')\n", path="src/repro/__main__.py") == []
+
+    def test_examples_exempt(self):
+        assert codes("print('x')\n", path="examples/quickstart.py") == []
+
+    def test_suppression_honored(self):
+        src = "print('debug')  # ocdlint: disable=OCD007\n"
+        assert codes(src, path=SIM) == []
+
+    def test_logger_calls_ok(self):
+        src = """
+        from repro.obs import get_logger
+
+        _logger = get_logger(__name__)
+
+        def solve(problem):
+            _logger.info("solving %s", problem)
+        """
+        assert codes(src, path=SIM) == []

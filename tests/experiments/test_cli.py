@@ -118,3 +118,127 @@ class TestCompare:
     def test_with_sequential(self, problem_file, capsys):
         assert main(["compare", problem_file, "--with-sequential"]) == 0
         assert "sequential" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_problem_file_and_report(self, problem_file, tmp_path, capsys):
+        out = str(tmp_path / "run.trace.jsonl")
+        assert main(["trace", problem_file, "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert f"wrote {out}" in stdout
+        from repro.obs import read_events
+
+        events = read_events(out)
+        assert events[0]["event"] == "trace_header"
+        assert {"run_start", "step", "run_end"} <= {e["event"] for e in events}
+
+        assert main(["report", out]) == 0
+        report = capsys.readouterr().out
+        assert "convergence" in report
+        assert "stall spans" in report
+
+    def test_trace_generated_family(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "trace",
+                    "random",
+                    "--heuristic",
+                    "local",
+                    "--seed",
+                    "3",
+                    "--size",
+                    "10",
+                    "--tokens",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "random.trace.jsonl").exists()
+        header = json.loads(
+            (tmp_path / "random.trace.jsonl").read_text().splitlines()[0]
+        )
+        assert header["family"] == "random"
+        assert header["size"] == 10
+
+    def test_trace_profile_prints_phase_summary(self, problem_file, tmp_path, capsys):
+        out = str(tmp_path / "t.jsonl")
+        assert main(["trace", problem_file, "--out", out, "--profile"]) == 0
+        stdout = capsys.readouterr().out
+        assert "heuristic_select" in stdout
+        assert "kernel_apply" in stdout
+
+    def test_trace_unknown_heuristic(self, problem_file, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    problem_file,
+                    "--heuristic",
+                    "nope",
+                    "--out",
+                    str(tmp_path / "t.jsonl"),
+                ]
+            )
+            == 2
+        )
+        assert "unknown heuristic" in capsys.readouterr().err
+
+    def test_trace_determinism_via_cli(self, problem_file, tmp_path):
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        assert main(["trace", problem_file, "--out", a]) == 0
+        assert main(["trace", problem_file, "--out", b]) == 0
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()
+
+
+class TestSimulateProfile:
+    def test_profile_flag_prints_summary(self, problem_file, capsys):
+        assert main(["simulate", problem_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "heuristic_select" in out
+
+
+class TestConvertTelemetry:
+    def test_upgrades_legacy_file(self, tmp_path, capsys):
+        src = tmp_path / "legacy.jsonl"
+        src.write_text(
+            json.dumps({"figure": "f", "kind": "k", "index": 0, "ok": True}) + "\n"
+        )
+        dst = str(tmp_path / "new.jsonl")
+        assert main(["convert-telemetry", str(src), dst]) == 0
+        assert "1 upgraded" in capsys.readouterr().out
+        row = json.loads(open(dst).read())
+        assert row["event"] == "sweep_point"
+
+    def test_in_place_refused(self, tmp_path, capsys):
+        src = tmp_path / "t.jsonl"
+        src.write_text("{}\n")
+        assert main(["convert-telemetry", str(src), str(src)]) == 1
+        assert "in place" in capsys.readouterr().err
+
+
+class TestRunTraceDir:
+    def test_run_writes_per_point_traces(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig1",
+                    "--no-cache",
+                    "--trace-dir",
+                    str(trace_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        files = sorted(trace_dir.iterdir())
+        assert files, "expected at least one per-point trace"
+        from repro.obs import read_events
+
+        events = read_events(str(files[0]))
+        assert events[0]["event"] == "trace_header"

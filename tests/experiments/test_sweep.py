@@ -309,3 +309,121 @@ def test_seed_derivation_is_per_point_not_worker_state():
     random.seed(1)
     second = point(spec)
     assert first == second
+
+
+class TestTelemetryEventSchema:
+    """Satellite: sweep telemetry rides the obs event schema."""
+
+    def test_rows_are_schema_versioned_sweep_point_events(self, tmp_path):
+        from repro.obs import SCHEMA_VERSION, is_event, read_events
+
+        path = tmp_path / "telemetry.jsonl"
+        config = ExecutorConfig(telemetry_path=str(path))
+        Executor(config).run(_specs([3]))
+        (event,) = read_events(str(path))
+        assert is_event(event)
+        assert event["schema_version"] == SCHEMA_VERSION
+        assert event["event"] == "sweep_point"
+        # The legacy flat fields are still right there in the envelope.
+        assert event["figure"] == "testfig"
+        assert event["ok"] is True
+
+    def test_legacy_telemetry_converts_and_new_files_pass_through(self, tmp_path):
+        from repro.obs import convert_telemetry, read_events
+
+        legacy = tmp_path / "legacy.jsonl"
+        legacy.write_text(
+            json.dumps({"figure": "f", "kind": "k", "index": 0, "ok": True}) + "\n"
+        )
+        upgraded = tmp_path / "upgraded.jsonl"
+        assert convert_telemetry(str(legacy), str(upgraded)) == (1, 1)
+        (event,) = read_events(str(upgraded))
+        assert event["event"] == "sweep_point"
+        # Idempotent: converting the converted file upgrades nothing.
+        again = tmp_path / "again.jsonl"
+        assert convert_telemetry(str(upgraded), str(again)) == (1, 0)
+        assert again.read_text() == upgraded.read_text()
+
+
+class TestFailureTracebacks:
+    """Satellite: SweepError keeps the worker-side traceback."""
+
+    def test_serial_failure_attaches_traceback(self, tmp_path):
+        config = ExecutorConfig(telemetry_path=str(tmp_path / "t.jsonl"))
+        executor = Executor(config)
+        with pytest.raises(SweepError) as info:
+            executor.run(_specs([9], boom=True))
+        (failure,) = info.value.failures
+        assert "RuntimeError: boom 9" in failure.traceback
+        assert "_square_point" in failure.traceback  # the actual frame
+        assert "RuntimeError: boom 9" in str(info.value)
+        # The traceback also lands in telemetry.
+        row = json.loads((tmp_path / "t.jsonl").read_text().splitlines()[-1])
+        assert "RuntimeError: boom 9" in row["traceback"]
+
+    def test_parallel_failure_attaches_worker_traceback(self):
+        executor = Executor(ExecutorConfig(workers=2, retries=0))
+        with pytest.raises(SweepError) as info:
+            executor.run(_specs([7], boom=True))
+        (failure,) = info.value.failures
+        # format_exception follows the __cause__ chain, so the remote
+        # (worker-side) stack survives into the message.
+        assert "RuntimeError: boom 7" in failure.traceback
+        assert "Traceback" in failure.traceback
+        assert "boom 7" in str(info.value)
+
+    def test_success_has_no_traceback_field(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        executor = Executor(ExecutorConfig(telemetry_path=str(path)))
+        executor.run(_specs([2]))
+        row = json.loads(path.read_text().splitlines()[0])
+        assert "traceback" not in row
+
+
+class TestPerPointTraces:
+    """Satellite: trace_dir writes one deterministic trace per point."""
+
+    def test_fig2_point_traces_serial_vs_parallel_byte_identical(self, tmp_path):
+        fig2 = [
+            PointSpec.make(
+                "fig2",
+                "fig2",
+                0,
+                params={"n": 10, "file_tokens": 8, "trial": 0},
+                seed=1,
+            )
+        ]
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        Executor(ExecutorConfig(trace_dir=str(serial_dir))).run(fig2)
+        Executor(ExecutorConfig(workers=2, trace_dir=str(parallel_dir))).run(fig2)
+        (serial_file,) = sorted(serial_dir.iterdir())
+        (parallel_file,) = sorted(parallel_dir.iterdir())
+        assert serial_file.name == parallel_file.name == "fig2-fig2-0000.jsonl"
+        assert serial_file.read_bytes() == parallel_file.read_bytes()
+
+    def test_point_trace_contains_traced_runs(self, tmp_path):
+        from repro.obs import read_events
+
+        fig2 = [
+            PointSpec.make(
+                "fig2",
+                "fig2",
+                0,
+                params={"n": 10, "file_tokens": 8, "trial": 0},
+                seed=1,
+            )
+        ]
+        Executor(ExecutorConfig(trace_dir=str(tmp_path))).run(fig2)
+        events = read_events(str(tmp_path / "fig2-fig2-0000.jsonl"))
+        kinds = {e["event"] for e in events}
+        assert events[0]["event"] == "trace_header"
+        assert events[0]["figure"] == "fig2"
+        assert {"run_start", "step", "run_end"} <= kinds
+        # One run per heuristic of the trial, stamped by the sink.
+        starts = [e for e in events if e["event"] == "run_start"]
+        assert [e["run"] for e in starts] == list(range(len(starts)))
+
+    def test_no_trace_dir_leaves_no_files(self, tmp_path):
+        Executor(ExecutorConfig()).run(_specs([2]))
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,112 @@
+"""Metrics registry: instruments, phase timers, engine profiling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.heuristics import standard_heuristics
+from repro.locd.algorithms import LocalRarest
+from repro.locd.runner import run_local
+from repro.obs import MetricsRegistry
+from repro.sim.engine import run_heuristic
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+
+def _problem(seed: int = 3, n: int = 10, tokens: int = 6) -> Problem:
+    return single_file(random_graph(n, random.Random(seed)), file_tokens=tokens)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        metrics = MetricsRegistry()
+        counter = metrics.counter("steps")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_is_stable(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.gauge("g") is metrics.gauge("g")
+        assert metrics.histogram("h") is metrics.histogram("h")
+        assert metrics.phase("p") is metrics.phase("p")
+
+    def test_histogram_summary(self):
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("gains")
+        for v in (1.0, 3.0, 2.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.min == 1.0 and hist.max == 3.0
+        assert hist.mean == 2.0
+
+    def test_timer_accumulates(self):
+        metrics = MetricsRegistry()
+        with metrics.timer("phase_a"):
+            pass
+        with metrics.timer("phase_a"):
+            pass
+        phase = metrics.phase("phase_a")
+        assert phase.calls == 2
+        assert phase.seconds >= 0.0
+
+    def test_snapshot_is_jsonable(self):
+        import json
+
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc()
+        metrics.gauge("g").set(2.5)
+        metrics.histogram("h").observe(1.0)
+        with metrics.timer("t"):
+            pass
+        snap = metrics.snapshot()
+        json.dumps(snap)
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 2.5}
+        assert snap["phases"]["t"]["calls"] == 1
+
+
+class TestEngineProfiling:
+    def test_engine_phase_timers_and_counters(self):
+        metrics = MetricsRegistry()
+        result = run_heuristic(
+            _problem(), standard_heuristics()[0], seed=7, metrics=metrics
+        )
+        snap = metrics.snapshot()
+        assert snap["phases"]["heuristic_select"]["calls"] == result.makespan
+        assert snap["phases"]["kernel_apply"]["calls"] == result.makespan
+        assert snap["counters"]["steps"] == result.makespan
+        assert snap["gauges"]["deficit"] == 0
+
+    def test_locd_engine_adds_knowledge_flood_phase(self):
+        metrics = MetricsRegistry()
+        result = run_local(_problem(n=8, tokens=4), LocalRarest(), seed=5, metrics=metrics)
+        snap = metrics.snapshot()
+        assert set(snap["phases"]) == {
+            "heuristic_select",
+            "kernel_apply",
+            "knowledge_flood",
+        }
+        assert snap["counters"]["facts_learned"] == result.knowledge_cost
+
+    def test_unprofiled_run_records_nothing(self):
+        result = run_heuristic(_problem(), standard_heuristics()[0], seed=7)
+        assert result.success  # and no registry anywhere to pollute
+
+    def test_render_mentions_phases_and_shares(self):
+        metrics = MetricsRegistry()
+        run_heuristic(_problem(), standard_heuristics()[0], seed=7, metrics=metrics)
+        text = metrics.render()
+        assert "heuristic_select" in text
+        assert "kernel_apply" in text
+        assert "%" in text
+        assert "counter steps" in text
+
+    def test_render_without_data(self):
+        assert MetricsRegistry().render() == "(no metrics recorded)"

@@ -15,6 +15,7 @@ EXPECTED_OUTPUT = {
     "np_hardness_demo.py": ["dominating set", "NP-complete"],
     "online_vs_offline.py": ["clairvoyant optimum", "decoys"],
     "dynamic_network.py": ["uptime", "oracle", "parity"],
+    "trace_inspect.py": ["schema-versioned", "convergence", "heuristic_select"],
 }
 
 
