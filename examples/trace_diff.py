@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Differential debugging on traces: find where two runs first diverge.
+
+Two runs of the same swarm under different seeds produce different
+schedules — but *where* do they split?  This script traces the same
+instance twice (same seed, then a different seed), shows that identical
+seeds give byte-identical traces, localizes the first divergence of the
+differing pair down to the timestep and field with
+:func:`repro.obs.analyze.diff_traces`, and replay-validates every trace
+against the paper's schedule-validity invariants with
+:func:`repro.obs.analyze.validate_trace` — all without re-running a
+single simulation.
+"""
+
+import os
+import random
+import tempfile
+
+from repro import run_heuristic
+from repro.heuristics import HEURISTIC_FACTORIES
+from repro.obs import JsonlTracer
+from repro.obs.analyze import diff_traces, validate_trace
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+
+def trace_run(path: str, problem, seed: int) -> None:
+    """Trace one rarest-first run of ``problem`` into ``path``."""
+    with JsonlTracer(path=path) as tracer:
+        tracer.emit("trace_header", {"scenario": "trace_diff", "seed": seed})
+        run_heuristic(
+            problem, HEURISTIC_FACTORIES["random"](), seed=seed, tracer=tracer
+        )
+
+
+def main() -> None:
+    problem = single_file(random_graph(16, random.Random(5)), file_tokens=8)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        seed2 = os.path.join(tmp, "seed2.trace.jsonl")
+        seed2_again = os.path.join(tmp, "seed2-again.trace.jsonl")
+        seed9 = os.path.join(tmp, "seed9.trace.jsonl")
+        trace_run(seed2, problem, seed=2)
+        trace_run(seed2_again, problem, seed=2)
+        trace_run(seed9, problem, seed=9)
+
+        # Identical seeds: the determinism contract says byte-identical.
+        same = diff_traces(seed2, seed2_again)
+        print("same seed:     " + same.render())
+
+        # Different seeds: localize the first divergence.  The header's
+        # seed field trivially differs, so ignore it and find where the
+        # *runs* split.
+        diff = diff_traces(seed2, seed9, ignore_fields=("seed",))
+        print("\ndifferent seed:")
+        print(diff.render())
+        d = diff.divergence
+        print(
+            f"\n=> the runs first disagree at timestep {d.step} "
+            f"on field {d.field!r}"
+        )
+
+        # Replay validation: every trace satisfies the paper's
+        # schedule-validity invariants, checked from the trace alone.
+        print()
+        for path in (seed2, seed9):
+            report = validate_trace(path)
+            print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,4 @@
-"""The repo-grounded ocdlint rules (OCD001–OCD007).
+"""The repo-grounded ocdlint rules (OCD001–OCD008).
 
 Each rule guards one invariant of the Section 3.1 model or of the
 engine/heuristic layering built on top of it; the mapping is recorded in
@@ -21,6 +21,7 @@ __all__ = [
     "EngineEncapsulationRule",
     "PublicAnnotationRule",
     "BarePrintRule",
+    "UnknownTraceEventKindRule",
 ]
 
 #: Packages whose code defines or executes the model itself (as opposed
@@ -828,6 +829,72 @@ class BarePrintRule(Rule):
                         "print() in library code; use "
                         "`_logger = repro.obs.get_logger(__name__)` and "
                         "`_logger.info(...)` (or write to an injected stream)",
+                    )
+                )
+        return diags
+
+
+# ======================================================================
+# OCD008 — tracer.emit() kinds come from the event schema
+# ======================================================================
+@register_rule
+class UnknownTraceEventKindRule(Rule):
+    """Every ``tracer.emit("<kind>", ...)`` call must name a kind from
+    ``repro.obs.events.EVENT_KINDS``.  ``make_event`` rejects unknown
+    kinds at runtime, but a mistyped kind in a rarely-exercised branch
+    (a stall path, a new engine) only surfaces when that branch finally
+    runs under tracing — this rule moves the failure to lint time.
+    """
+
+    code = "OCD008"
+    name = "unknown-trace-event-kind"
+    summary = "tracer.emit() with an event kind outside the schema"
+    invariant = (
+        "observability schema: every emitted event kind is declared in "
+        "repro.obs.events.EVENT_KINDS, so trace consumers can rely on a "
+        "closed vocabulary"
+    )
+
+    @staticmethod
+    def _receiver_is_tracer(expr: ast.expr) -> bool:
+        """Whether an ``.emit`` receiver looks like a tracer.
+
+        Matched by naming convention — ``tracer``, ``self.tracer``,
+        ``self._tracer``, ``run_tracer`` — which is how every sink in the
+        tree is bound (the Tracer protocol has no marker at the AST level).
+        """
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and "tracer" in sub.id.lower():
+                return True
+            if isinstance(sub, ast.Attribute) and "tracer" in sub.attr.lower():
+                return True
+        return False
+
+    def check(self, ctx: LintContext) -> List[Diagnostic]:
+        from repro.obs.events import EVENT_KINDS
+
+        diags: List[Diagnostic] = []
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+                and self._receiver_is_tracer(node.func.value)
+                and node.args
+            ):
+                continue
+            kind = node.args[0]
+            if not isinstance(kind, ast.Constant) or not isinstance(kind.value, str):
+                continue
+            if kind.value not in EVENT_KINDS:
+                diags.append(
+                    self.diagnostic(
+                        ctx,
+                        node,
+                        f"tracer.emit({kind.value!r}, ...): unknown event kind; "
+                        f"the schema (repro.obs.events.EVENT_KINDS) declares "
+                        f"{', '.join(EVENT_KINDS)} — add the kind there first "
+                        f"if it is intentional",
                     )
                 )
         return diags

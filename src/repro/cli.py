@@ -24,6 +24,13 @@ Two halves:
       ocd-repro convert-telemetry old-telemetry.jsonl upgraded.jsonl
       ocd-repro run fig2 --trace-dir traces/
 
+* trace analytics — consume traces (``repro.obs.analyze``)::
+
+      ocd-repro trace-diff a.trace.jsonl b.trace.jsonl
+      ocd-repro trace-verify trace.jsonl [more.jsonl ...]
+      ocd-repro bench-trend BENCH_engine.json new_bench.json --threshold 0.1
+      ocd-repro trace-scan traces/ --fail-on-anomaly
+
 (equivalently ``python -m repro ...``).  Problem files are the
 ``Problem.to_dict`` JSON form.
 """
@@ -180,6 +187,96 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print the phase-timer/metrics summary after tracing",
+    )
+    trace.add_argument(
+        "--engine",
+        choices=("sim", "reference"),
+        default="sim",
+        help="sim (incremental engine, default) or reference (run the "
+        "frozen pre-kernel oracle and re-trace its schedule) — diffing "
+        "the two with 'trace-diff --ignore-fields engine' is the "
+        "differential-debugging smoke test",
+    )
+
+    diff = sub.add_parser(
+        "trace-diff",
+        help="localize the first divergence between two trace files",
+    )
+    diff.add_argument("trace_a", help="path to trace A (JSONL)")
+    diff.add_argument("trace_b", help="path to trace B (JSONL)")
+    diff.add_argument(
+        "--ignore-fields",
+        default="",
+        help="comma-separated event fields excluded from comparison "
+        "(e.g. 'engine' when diffing a live trace against a re-trace)",
+    )
+
+    verify = sub.add_parser(
+        "trace-verify",
+        help="replay-validate traces against the paper's schedule-validity "
+        "invariants",
+    )
+    verify.add_argument(
+        "traces", nargs="+", help="trace JSONL file(s) to validate"
+    )
+
+    trend = sub.add_parser(
+        "bench-trend",
+        help="compare two BENCH_engine.json snapshots and gate regressions",
+    )
+    trend.add_argument("old", help="baseline bench snapshot (JSON)")
+    trend.add_argument("new", help="candidate bench snapshot (JSON)")
+    trend.add_argument(
+        "--metric",
+        default="speedup",
+        help="per-case metric to pair (default: speedup)",
+    )
+    trend.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="fail when any case's new/old ratio drops below 1 - threshold "
+        "(default: 0.10)",
+    )
+
+    scan = sub.add_parser(
+        "trace-scan",
+        help="scan trace files or directories for anomalous runs",
+    )
+    scan.add_argument(
+        "paths",
+        nargs="+",
+        help="trace JSONL file(s) and/or directories of *.jsonl traces",
+    )
+    scan.add_argument(
+        "--stall-span",
+        type=int,
+        default=3,
+        help="flag zero-gain spans at least this long (default: 3)",
+    )
+    scan.add_argument(
+        "--plateau-span",
+        type=int,
+        default=4,
+        help="flag constant non-zero deficit plateaus at least this long "
+        "(default: 4)",
+    )
+    scan.add_argument(
+        "--util-floor",
+        type=float,
+        default=0.02,
+        help="arc utilization at or below this counts as quiet (default: 0.02)",
+    )
+    scan.add_argument(
+        "--util-span",
+        type=int,
+        default=3,
+        help="flag quiet-network spans at least this long (default: 3)",
+    )
+    scan.add_argument(
+        "--fail-on-anomaly",
+        action="store_true",
+        help="exit non-zero when any anomaly is found (for CI)",
     )
 
     report = sub.add_parser(
@@ -423,9 +520,18 @@ def _cmd_trace(args) -> int:
         )
         for heuristic in field:
             try:
-                result = run_heuristic(
-                    problem, heuristic, seed=args.seed, tracer=tracer, metrics=metrics
-                )
+                if args.engine == "reference":
+                    result = _reference_traced_run(
+                        tracer, problem, heuristic.name, args.seed
+                    )
+                else:
+                    result = run_heuristic(
+                        problem,
+                        heuristic,
+                        seed=args.seed,
+                        tracer=tracer,
+                        metrics=metrics,
+                    )
             except StallError as error:
                 failures += 1
                 print(f"{heuristic.name}: stalled ({error})", file=sys.stderr)
@@ -440,6 +546,90 @@ def _cmd_trace(args) -> int:
     if metrics is not None:
         print(metrics.render())
     return 0 if failures == 0 else 1
+
+
+def _reference_traced_run(tracer, problem: Problem, name: str, seed: int):
+    """Run the frozen oracle (no tracing support) and re-trace its schedule."""
+    from repro.obs.analyze import retrace_run
+    from repro.sim.reference import make_reference_heuristic, reference_run_heuristic
+
+    result = reference_run_heuristic(
+        problem, make_reference_heuristic(name), seed=seed
+    )
+    retrace_run(
+        tracer,
+        problem,
+        result.schedule,
+        result.success,
+        heuristic_name=name,
+        engine="reference",
+    )
+    return result
+
+
+def _cmd_trace_diff(args) -> int:
+    from repro.obs.analyze import diff_traces
+
+    ignore = tuple(f for f in args.ignore_fields.split(",") if f)
+    try:
+        result = diff_traces(args.trace_a, args.trace_b, ignore_fields=ignore)
+    except (OSError, ValueError) as error:
+        print(f"trace-diff failed: {error}", file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0 if result.identical else 1
+
+
+def _cmd_trace_verify(args) -> int:
+    from repro.obs.analyze import validate_trace
+
+    failures = 0
+    for path in args.traces:
+        try:
+            report = validate_trace(path)
+        except (OSError, ValueError) as error:
+            print(f"trace-verify failed on {path}: {error}", file=sys.stderr)
+            return 2
+        print(report.render())
+        if not report.ok:
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def _cmd_bench_trend(args) -> int:
+    from repro.obs.analyze import compare_bench
+
+    try:
+        report = compare_bench(
+            args.old, args.new, metric=args.metric, threshold=args.threshold
+        )
+    except (OSError, ValueError) as error:
+        print(f"bench-trend failed: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_trace_scan(args) -> int:
+    from repro.obs.analyze import ScanThresholds, scan_paths
+
+    thresholds = ScanThresholds(
+        stall_span=args.stall_span,
+        plateau_span=args.plateau_span,
+        util_floor=args.util_floor,
+        util_span=args.util_span,
+    )
+    try:
+        anomalies = scan_paths(args.paths, thresholds)
+    except (OSError, ValueError) as error:
+        print(f"trace-scan failed: {error}", file=sys.stderr)
+        return 2
+    for anomaly in anomalies:
+        print(anomaly.render())
+    print(f"trace-scan: {len(anomalies)} anomaly(ies) across {len(args.paths)} path(s)")
+    if anomalies and args.fail_on_anomaly:
+        return 1
+    return 0
 
 
 def _cmd_report(args) -> int:
@@ -497,6 +687,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "trace-diff":
+        return _cmd_trace_diff(args)
+    if args.command == "trace-verify":
+        return _cmd_trace_verify(args)
+    if args.command == "bench-trend":
+        return _cmd_bench_trend(args)
+    if args.command == "trace-scan":
+        return _cmd_trace_scan(args)
     if args.command == "convert-telemetry":
         return _cmd_convert_telemetry(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,67 @@
+"""Trace analytics: differential debugging, replay validation, trend gates.
+
+Consumes the JSONL traces of :mod:`repro.obs` (see
+``docs/OBSERVABILITY.md``) and answers the questions raw event streams
+cannot:
+
+* :func:`diff_traces` — where do two traces *first* diverge?
+* :func:`validate_trace` — does a trace's claimed run actually satisfy
+  the paper's schedule-validity invariants?
+* :func:`compare_bench` — did any benchmark case regress between two
+  ``BENCH_engine.json`` snapshots?
+* :func:`scan_paths` — which runs of a sweep look pathological?
+* :func:`retrace_run` — re-emit a finished schedule as a trace (the
+  bridge that gives the untraced reference oracle a diffable trace).
+
+This subpackage is deliberately *not* imported by ``repro.obs``'s
+``__init__`` — the tracing layer must stay importable by the simulation
+kernel, while :mod:`repro.obs.analyze.retrace` imports the kernel.
+Import it explicitly: ``from repro.obs import analyze`` or
+``from repro.obs.analyze import diff_traces``.
+"""
+
+from repro.obs.analyze.anomaly import (
+    Anomaly,
+    ScanThresholds,
+    scan_events,
+    scan_paths,
+    scan_trace,
+)
+from repro.obs.analyze.diff import Divergence, TraceDiff, diff_traces
+from repro.obs.analyze.retrace import retrace_run
+from repro.obs.analyze.runs import DecodedInstance, TraceRun, split_runs
+from repro.obs.analyze.trend import (
+    CaseTrend,
+    TrendReport,
+    compare_bench,
+    load_bench,
+)
+from repro.obs.analyze.validate import (
+    ValidationReport,
+    Violation,
+    validate_events,
+    validate_trace,
+)
+
+__all__ = [
+    "Anomaly",
+    "CaseTrend",
+    "DecodedInstance",
+    "Divergence",
+    "ScanThresholds",
+    "TraceDiff",
+    "TraceRun",
+    "TrendReport",
+    "ValidationReport",
+    "Violation",
+    "compare_bench",
+    "diff_traces",
+    "load_bench",
+    "retrace_run",
+    "scan_events",
+    "scan_paths",
+    "scan_trace",
+    "split_runs",
+    "validate_events",
+    "validate_trace",
+]

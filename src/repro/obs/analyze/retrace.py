@@ -1,0 +1,94 @@
+"""Re-trace a finished schedule as if a tracing engine had produced it.
+
+The frozen reference oracle (:mod:`repro.sim.reference`) predates the
+tracing layer and must never change — but differential debugging wants
+a reference *trace* to diff against a live engine trace.  The bridge is
+:func:`retrace_run`: replay a completed :class:`~repro.core.schedule.
+Schedule` through a fresh :class:`~repro.sim.state.SimState` and emit
+events through the exact same helpers (:func:`repro.sim.engine.
+emit_run_start` / :func:`~repro.sim.engine.emit_step_event`) in the
+exact control-flow order of :meth:`repro.sim.Engine.run`.  Because the
+incremental engine's schedules are byte-identical to the oracle's, the
+re-trace of an oracle schedule is byte-identical to a live engine trace
+of the same (problem, heuristic, seed) — except for the ``engine``
+label, which honestly records where the schedule came from
+(``trace-diff --ignore-fields engine`` masks it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.problem import Problem
+from repro.core.schedule import Schedule
+from repro.obs.tracer import Tracer
+from repro.sim.engine import emit_run_start, emit_step_event
+from repro.sim.state import SimState
+
+__all__ = ["retrace_run"]
+
+
+def retrace_run(
+    tracer: Tracer,
+    problem: Problem,
+    schedule: Schedule,
+    success: bool,
+    heuristic_name: str,
+    engine: str = "sim",
+    max_steps: Optional[int] = None,
+) -> None:
+    """Emit the trace a tracing engine would have produced for ``schedule``.
+
+    ``engine`` is the label stamped into ``run_start`` (use
+    ``"reference"`` for oracle schedules).  ``max_steps`` must match the
+    producing engine's cap for byte-identity; the default mirrors
+    :class:`repro.sim.Engine`.
+    """
+    if not tracer.enabled:
+        return
+    if max_steps is None:
+        max_steps = 4 * max(problem.move_bound(), 1) + 64
+    state = SimState(problem)
+    emit_run_start(tracer, engine, problem, heuristic_name, state, max_steps)
+    stalled_for = 0
+    for step, timestep in enumerate(schedule.steps):
+        version_before = state.version
+        arrivals: Dict[int, int] = {}
+        for (_src, dst), tokens in timestep.sends.items():
+            prev = arrivals.get(dst)
+            arrivals[dst] = tokens.mask if prev is None else prev | tokens.mask
+        state.apply_arrivals(arrivals)
+        progressed = state.version != version_before
+        emit_step_event(tracer, problem, state, timestep, step, version_before)
+        if state.satisfied():
+            break
+        if progressed:
+            stalled_for = 0
+            continue
+        if not state.any_useful_arc():
+            # The live engine raises StallError right after this emit, so
+            # its trace ends here too (no run_end follows a terminal
+            # stall) — but replayed schedules come from *completed* runs,
+            # which never reach this state; emit and stop for parity.
+            tracer.emit(
+                "stall",
+                {
+                    "step": step,
+                    "consecutive": stalled_for + 1,
+                    "terminal": True,
+                },
+            )
+            return
+        if timestep:
+            stalled_for = 0
+        else:
+            stalled_for += 1
+            tracer.emit("stall", {"step": step, "consecutive": stalled_for})
+    tracer.emit(
+        "run_end",
+        {
+            "success": success,
+            "makespan": schedule.makespan,
+            "bandwidth": schedule.bandwidth,
+        },
+    )

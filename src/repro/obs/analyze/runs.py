@@ -1,0 +1,162 @@
+"""Shared trace-analytics plumbing: run splitting and instance decoding.
+
+Every analyzer in this package starts the same way: take the flat event
+stream of one trace file (:func:`repro.obs.read_events`) and regroup it
+into per-run event sequences, then — for the replay validator and the
+differ — decode the ``instance`` payload that ``run_start`` events carry
+(the ``Problem.to_dict`` form) into the integer-mask representation the
+analyzers compute with.
+
+The decoder is deliberately *independent* of :mod:`repro.core` and
+:mod:`repro.sim`: the replay validator re-implements the paper's §2
+schedule-validity semantics from the raw JSON so that a kernel bug
+cannot hide by also corrupting the checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+JsonDict = Dict[str, Any]
+
+__all__ = [
+    "DecodedInstance",
+    "TraceRun",
+    "mask_of",
+    "split_runs",
+    "tokens_of",
+]
+
+
+def mask_of(tokens: Iterable[int]) -> int:
+    """Token ids to the bitmask the analyzers compute with."""
+    mask = 0
+    for t in tokens:
+        mask |= 1 << int(t)
+    return mask
+
+
+def tokens_of(mask: int) -> List[int]:
+    """Sorted token ids of a bitmask (inverse of :func:`mask_of`)."""
+    out: List[int] = []
+    t = 0
+    while mask:
+        if mask & 1:
+            out.append(t)
+        mask >>= 1
+        t += 1
+    return out
+
+
+@dataclass
+class TraceRun:
+    """The events of one run within a trace, in emission order."""
+
+    run: int
+    start: Optional[JsonDict] = None
+    steps: List[JsonDict] = field(default_factory=list)
+    stalls: List[JsonDict] = field(default_factory=list)
+    end: Optional[JsonDict] = None
+    #: Run-scoped events in exact emission order (steps and stalls
+    #: interleaved as recorded) — the differ compares this sequence.
+    events: List[JsonDict] = field(default_factory=list)
+
+    @property
+    def heuristic(self) -> str:
+        if self.start is None:
+            return "?"
+        return str(self.start.get("heuristic", "?"))
+
+    @property
+    def engine(self) -> str:
+        if self.start is None:
+            return "?"
+        return str(self.start.get("engine", "?"))
+
+
+def split_runs(
+    events: Sequence[JsonDict],
+) -> Tuple[Optional[JsonDict], List[TraceRun]]:
+    """Group a trace's events into ``(trace_header, per-run sequences)``.
+
+    Mirrors the grouping of :func:`repro.obs.report.load_timelines` but
+    keeps the exact emission order per run, which the differ needs.
+    ``sweep_point`` telemetry rows are ignored.
+    """
+    header: Optional[JsonDict] = None
+    runs: Dict[int, TraceRun] = {}
+    for event in events:
+        kind = event["event"]
+        if kind == "trace_header":
+            if header is None:
+                header = event
+            continue
+        if kind == "sweep_point":
+            continue
+        run_index = int(event.get("run", 0))
+        run = runs.get(run_index)
+        if run is None:
+            run = runs[run_index] = TraceRun(run=run_index)
+        run.events.append(event)
+        if kind == "run_start":
+            run.start = event
+        elif kind == "step":
+            run.steps.append(event)
+        elif kind == "stall":
+            run.stalls.append(event)
+        elif kind == "run_end":
+            run.end = event
+    return header, [runs[k] for k in sorted(runs)]
+
+
+@dataclass(frozen=True)
+class DecodedInstance:
+    """The ``run_start`` instance payload in analyzer-native form."""
+
+    name: str
+    num_vertices: int
+    num_tokens: int
+    #: ``(src, dst) -> capacity`` for every declared arc.
+    capacities: Dict[Tuple[int, int], int]
+    #: Initial possession ``h(v)`` as one bitmask per vertex.
+    have_masks: Tuple[int, ...]
+    #: Demand ``w(v)`` as one bitmask per vertex.
+    want_masks: Tuple[int, ...]
+
+    @classmethod
+    def from_payload(cls, data: Any) -> "DecodedInstance":
+        """Decode a ``Problem.to_dict`` payload; raises ``ValueError``
+        on anything structurally unusable."""
+        if not isinstance(data, dict):
+            raise ValueError("instance payload is not a JSON object")
+        try:
+            n = int(data["num_vertices"])
+            m = int(data["num_tokens"])
+            arcs = data["arcs"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"instance payload malformed: {exc}") from None
+        capacities: Dict[Tuple[int, int], int] = {}
+        for arc in arcs:
+            src, dst, cap = (int(x) for x in arc)
+            capacities[(src, dst)] = cap
+        have = [0] * n
+        want = [0] * n
+        for target, key in ((have, "have"), (want, "want")):
+            for v, tokens in data.get(key, {}).items():
+                target[int(v)] = mask_of(tokens)
+        return cls(
+            name=str(data.get("name", "")),
+            num_vertices=n,
+            num_tokens=m,
+            capacities=capacities,
+            have_masks=tuple(have),
+            want_masks=tuple(want),
+        )
+
+    def deficits(self, have_masks: Sequence[int]) -> List[int]:
+        """Per-vertex wanted-but-missing counts for a possession state."""
+        return [
+            (self.want_masks[v] & ~have_masks[v]).bit_count()
+            for v in range(self.num_vertices)
+        ]

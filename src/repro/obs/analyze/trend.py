@@ -1,0 +1,152 @@
+"""Bench trend gating: compare two ``BENCH_engine.json`` snapshots.
+
+``benchmarks/engine_perf.py`` writes a JSON file with one entry per
+benchmark case (``{"label": {"speedup": ..., "moves": ...,
+"incremental_moves_per_sec": ..., ...}}``). :func:`compare_bench` pairs
+the cases of an *old* (committed baseline) and *new* (freshly measured)
+snapshot and computes the per-case ratio ``new/old`` for one metric;
+a case whose ratio falls below ``1 - threshold`` is a regression, and
+the CLI ``bench-trend`` command exits non-zero when any case regresses.
+
+Ratios are paired per-case rather than aggregated: a 2x win on one case
+must not mask a 30% loss on another. Cases present on only one side are
+reported (a silently dropped benchmark is itself a trend worth seeing)
+but do not fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["CaseTrend", "TrendReport", "compare_bench", "load_bench"]
+
+
+def load_bench(path: str) -> Dict[str, Dict[str, Any]]:
+    """Load a ``BENCH_engine.json``-shaped snapshot as its case mapping.
+
+    Accepts both the committed file's shape (cases nested under a
+    ``"cases"`` key, alongside ``"_comment"``/``"repeats"`` metadata)
+    and a bare ``{label: {metric: value}}`` mapping.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: bench snapshot must be a JSON object")
+    cases = data.get("cases", data)
+    if not isinstance(cases, dict):
+        raise ValueError(f"{path}: 'cases' must be a JSON object")
+    out = {
+        label: case for label, case in cases.items() if isinstance(case, dict)
+    }
+    if not out:
+        raise ValueError(f"{path}: bench snapshot contains no cases")
+    return out
+
+
+@dataclass(frozen=True)
+class CaseTrend:
+    """One benchmark case's old-vs-new movement on one metric."""
+
+    label: str
+    metric: str
+    old: float
+    new: float
+
+    @property
+    def ratio(self) -> float:
+        if self.old == 0:
+            return math.inf if self.new > 0 else 1.0
+        return self.new / self.old
+
+    def regressed(self, threshold: float) -> bool:
+        return self.ratio < 1.0 - threshold
+
+    def render(self, threshold: float) -> str:
+        verdict = "REGRESSED" if self.regressed(threshold) else "ok"
+        return (
+            f"{self.label:<24} {self.metric}: {self.old:.3f} -> "
+            f"{self.new:.3f}  (x{self.ratio:.3f})  {verdict}"
+        )
+
+
+@dataclass(frozen=True)
+class TrendReport:
+    """Paired comparison of two bench snapshots."""
+
+    old_path: str
+    new_path: str
+    metric: str
+    threshold: float
+    cases: Tuple[CaseTrend, ...]
+    #: Labels only in the new / only in the old snapshot.
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+
+    @property
+    def regressions(self) -> List[CaseTrend]:
+        return [c for c in self.cases if c.regressed(self.threshold)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"bench-trend: {self.old_path} -> {self.new_path} "
+            f"(metric={self.metric}, threshold={self.threshold:.0%})"
+        ]
+        for case in self.cases:
+            lines.append("  " + case.render(self.threshold))
+        for label in self.added:
+            lines.append(f"  {label:<24} only in new snapshot (not gated)")
+        for label in self.removed:
+            lines.append(f"  {label:<24} only in old snapshot (dropped?)")
+        if self.ok:
+            lines.append(
+                f"  all {len(self.cases)} paired case(s) within threshold"
+            )
+        else:
+            lines.append(
+                f"  {len(self.regressions)} of {len(self.cases)} paired "
+                f"case(s) regressed past {self.threshold:.0%}"
+            )
+        return "\n".join(lines)
+
+
+def compare_bench(
+    old_path: str,
+    new_path: str,
+    metric: str = "speedup",
+    threshold: float = 0.10,
+) -> TrendReport:
+    """Pair two bench snapshots and flag per-case regressions on ``metric``."""
+    old = load_bench(old_path)
+    new = load_bench(new_path)
+    cases: List[CaseTrend] = []
+    for label in sorted(set(old) & set(new)):
+        old_case, new_case = old[label], new[label]
+        if metric not in old_case or metric not in new_case:
+            raise ValueError(
+                f"case {label!r} lacks metric {metric!r} "
+                f"(old has {sorted(old_case)}, new has {sorted(new_case)})"
+            )
+        cases.append(
+            CaseTrend(
+                label=label,
+                metric=metric,
+                old=float(old_case[metric]),
+                new=float(new_case[metric]),
+            )
+        )
+    return TrendReport(
+        old_path=old_path,
+        new_path=new_path,
+        metric=metric,
+        threshold=threshold,
+        cases=tuple(cases),
+        added=tuple(sorted(set(new) - set(old))),
+        removed=tuple(sorted(set(old) - set(new))),
+    )

@@ -1,0 +1,336 @@
+"""Trace-replay validation: re-check schedule validity from a trace alone.
+
+A trace produced by any engine is a *claim* about a run: the instance it
+started from (``run_start.instance``), the per-arc token movement of
+every timestep (``step.transfers``), and the outcome (``run_end``).
+:func:`validate_trace` replays that claim and re-checks the paper's §2
+schedule-validity invariants without re-running the simulator:
+
+``arc-capacity``
+    Every transfer uses a declared arc and sends at most its capacity.
+``sender-possession``
+    A vertex only sends tokens it possessed at the start of the step.
+``monotone-have``
+    Possession only grows: no vertex's reported deficit ever rises.
+``step-consistency``
+    The aggregate fields each ``step`` event reports (``deficit``,
+    ``deficit_by_vertex``, ``gained``, ``moves``, ``sends``) match the
+    state reconstructed from the transfers.
+``final-want``
+    The ``run_end`` verdict matches the reconstructed final state
+    (``success`` iff ``w(v) ⊆ p(v)`` everywhere), and its
+    ``makespan``/``bandwidth`` aggregates match the replay.
+``trace-structure``
+    The trace is well-formed enough to replay at all: ``run_start``
+    carries an instance, steps are contiguously numbered and carry
+    transfers, and every run is closed by a ``run_end``.
+
+The replay is an independent implementation of the semantics — plain
+bitmask arithmetic over the JSON, importing nothing from the simulation
+kernel — so an engine bug cannot hide by also corrupting the validator.
+Dynamic-conditions traces (``engine: "dynamic"``) skip the two arc-level
+checks: their arc set and capacities change per timestep and only the
+turn's engine knows them; everything state-based is still enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.analyze.runs import (
+    DecodedInstance,
+    JsonDict,
+    TraceRun,
+    mask_of,
+    split_runs,
+    tokens_of,
+)
+from repro.obs.events import read_events
+
+__all__ = ["Violation", "ValidationReport", "validate_events", "validate_trace"]
+
+#: Invariant codes in the order the run replay checks them.
+INVARIANTS = (
+    "trace-structure",
+    "arc-capacity",
+    "sender-possession",
+    "monotone-have",
+    "step-consistency",
+    "final-want",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant broken at one point of one run."""
+
+    run: int
+    step: Optional[int]
+    invariant: str
+    message: str
+
+    def render(self) -> str:
+        where = f"run {self.run}"
+        if self.step is not None:
+            where += f" step {self.step}"
+        return f"{where}: [{self.invariant}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Everything one validation pass established about a trace."""
+
+    path: str
+    runs_checked: int = 0
+    steps_checked: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    #: Non-failure observations (e.g. skipped arc checks on dynamic runs).
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"trace-verify {self.path}: {self.runs_checked} run(s), "
+            f"{self.steps_checked} step(s) replayed"
+        ]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        if self.ok:
+            lines.append("  all schedule-validity invariants hold")
+        else:
+            lines.append(f"  {len(self.violations)} violation(s):")
+            for violation in self.violations:
+                lines.append(f"    {violation.render()}")
+        return "\n".join(lines)
+
+
+class _RunValidator:
+    """Replays one run and accumulates violations."""
+
+    def __init__(self, run: TraceRun, report: ValidationReport) -> None:
+        self.run = run
+        self.report = report
+
+    def _flag(self, invariant: str, message: str, step: Optional[int] = None) -> None:
+        self.report.violations.append(
+            Violation(run=self.run.run, step=step, invariant=invariant, message=message)
+        )
+
+    def validate(self) -> None:
+        run = self.run
+        if run.start is None:
+            self._flag(
+                "trace-structure",
+                "run has step/run_end events but no run_start",
+            )
+            return
+        payload = run.start.get("instance")
+        if payload is None:
+            self._flag(
+                "trace-structure",
+                "run_start carries no instance payload (trace predates the "
+                "analytics schema); re-record the trace to replay-validate it",
+            )
+            return
+        try:
+            instance = DecodedInstance.from_payload(payload)
+        except ValueError as exc:
+            self._flag("trace-structure", f"undecodable instance payload: {exc}")
+            return
+        dynamic = run.engine == "dynamic"
+        if dynamic:
+            self.report.notes.append(
+                f"run {run.run} is a dynamic-conditions run; per-step arc "
+                f"existence/capacity checks are skipped (the arc set changes "
+                f"each turn)"
+            )
+        have = list(instance.have_masks)
+        reported = instance.deficits(have)
+        start_deficit = run.start.get("total_deficit")
+        if start_deficit is not None and int(start_deficit) != sum(reported):
+            self._flag(
+                "step-consistency",
+                f"run_start total_deficit={start_deficit} but the instance's "
+                f"initial wanted-but-missing count is {sum(reported)}",
+            )
+        total_moves = 0
+        for expected_step, event in enumerate(run.steps):
+            total_moves += self._replay_step(
+                instance, event, expected_step, have, reported, dynamic
+            )
+            self.report.steps_checked += 1
+        self._check_end(instance, have, len(run.steps), total_moves)
+        self.report.runs_checked += 1
+
+    # ------------------------------------------------------------------
+    def _replay_step(
+        self,
+        instance: DecodedInstance,
+        event: JsonDict,
+        expected_step: int,
+        have: List[int],
+        reported: List[int],
+        dynamic: bool,
+    ) -> int:
+        step = int(event.get("step", expected_step))
+        if step != expected_step:
+            self._flag(
+                "trace-structure",
+                f"step events are not contiguous: expected step "
+                f"{expected_step}, event says {step}",
+                step=step,
+            )
+        transfers = event.get("transfers")
+        if not isinstance(transfers, list):
+            self._flag(
+                "trace-structure",
+                "step event carries no transfers list (trace predates the "
+                "analytics schema); re-record the trace to replay-validate it",
+                step=step,
+            )
+            return 0
+        moves = 0
+        arrivals: Dict[int, int] = {}
+        for entry in transfers:
+            src, dst, sent = int(entry[0]), int(entry[1]), list(entry[2])
+            mask = mask_of(sent)
+            moves += len(sent)
+            if not dynamic:
+                cap = instance.capacities.get((src, dst))
+                if cap is None:
+                    self._flag(
+                        "arc-capacity",
+                        f"transfer on undeclared arc ({src}, {dst})",
+                        step=step,
+                    )
+                elif len(sent) > cap:
+                    self._flag(
+                        "arc-capacity",
+                        f"{len(sent)} tokens sent on arc ({src}, {dst}) of "
+                        f"capacity {cap}",
+                        step=step,
+                    )
+            unpossessed = mask & ~have[src]
+            if unpossessed:
+                self._flag(
+                    "sender-possession",
+                    f"vertex {src} sent tokens {tokens_of(unpossessed)} it did "
+                    f"not possess at the start of the step",
+                    step=step,
+                )
+            arrivals[dst] = arrivals.get(dst, 0) | mask
+        gained = 0
+        for dst in sorted(arrivals):
+            new = arrivals[dst] & ~have[dst]
+            gained += new.bit_count()
+            have[dst] |= new
+        self._check_step_report(instance, event, step, have, reported, gained, moves)
+        return moves
+
+    def _check_step_report(
+        self,
+        instance: DecodedInstance,
+        event: JsonDict,
+        step: int,
+        have: Sequence[int],
+        reported: List[int],
+        gained: int,
+        moves: int,
+    ) -> None:
+        """Check the step's self-reported aggregates against the replay."""
+        emitted = event.get("deficit_by_vertex")
+        if isinstance(emitted, list) and len(emitted) == instance.num_vertices:
+            for v, (prev, now) in enumerate(zip(reported, emitted)):
+                if int(now) > int(prev):
+                    self._flag(
+                        "monotone-have",
+                        f"vertex {v}'s reported deficit rose {prev} -> {now}; "
+                        f"have-sets only ever grow",
+                        step=step,
+                    )
+            reported[:] = [int(x) for x in emitted]
+        replayed = instance.deficits(have)
+        checks: List[tuple[str, Any, Any]] = [
+            ("deficit_by_vertex", emitted, replayed),
+            ("deficit", event.get("deficit"), sum(replayed)),
+            ("gained", event.get("gained"), gained),
+            ("moves", event.get("moves"), moves),
+            ("sends", event.get("sends"), len(event.get("transfers", []))),
+        ]
+        for name, got, want in checks:
+            if got is not None and got != want:
+                self._flag(
+                    "step-consistency",
+                    f"step reports {name}={got} but replaying its transfers "
+                    f"gives {want}",
+                    step=step,
+                )
+
+    def _check_end(
+        self,
+        instance: DecodedInstance,
+        have: Sequence[int],
+        makespan: int,
+        total_moves: int,
+    ) -> None:
+        end = self.run.end
+        unmet = [
+            v
+            for v in range(instance.num_vertices)
+            if instance.want_masks[v] & ~have[v]
+        ]
+        if end is None:
+            self._flag(
+                "trace-structure",
+                "run has no run_end event (trace truncated); final-state "
+                "invariants cannot be confirmed",
+            )
+            return
+        success = bool(end.get("success"))
+        if success and unmet:
+            v = unmet[0]
+            missing = tokens_of(instance.want_masks[v] & ~have[v])
+            self._flag(
+                "final-want",
+                f"run_end claims success but vertex {v} still lacks wanted "
+                f"tokens {missing} (and {len(unmet) - 1} other vertex(es) "
+                f"are unmet)",
+                step=makespan - 1 if makespan else None,
+            )
+        elif not success and not unmet:
+            self._flag(
+                "final-want",
+                "run_end claims failure but every want is met in the "
+                "replayed final state",
+            )
+        for name, got, want in (
+            ("makespan", end.get("makespan"), makespan),
+            ("bandwidth", end.get("bandwidth"), total_moves),
+        ):
+            if got is not None and int(got) != want:
+                self._flag(
+                    "final-want",
+                    f"run_end reports {name}={got} but the replay gives {want}",
+                )
+
+
+def validate_events(
+    events: Sequence[JsonDict], path: str = "<events>"
+) -> ValidationReport:
+    """Replay-validate an already-parsed event stream."""
+    report = ValidationReport(path=path)
+    _header, runs = split_runs(events)
+    if not runs:
+        report.notes.append("trace contains no runs")
+    for run in runs:
+        _RunValidator(run, report).validate()
+    return report
+
+
+def validate_trace(path: str) -> ValidationReport:
+    """Load a trace JSONL file and replay-validate every run in it."""
+    return validate_events(read_events(path), path=path)

@@ -12,6 +12,7 @@ files.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, Tuple
 
 from repro.obs.events import dump_event, is_event, make_event
@@ -45,7 +46,9 @@ def convert_telemetry(src: str, dst: str) -> Tuple[int, int]:
     Returns ``(total, upgraded)`` record counts.  ``dst`` must differ
     from ``src`` — the converter never rewrites in place.
     """
-    if src == dst:
+    # Resolve both paths: "./x.jsonl" vs "x.jsonl" (or a symlink) name the
+    # same file, and opening it for writing would truncate the input.
+    if os.path.realpath(src) == os.path.realpath(dst):
         raise ValueError("refusing to convert in place; pass a distinct output path")
     total = 0
     upgraded = 0

@@ -179,6 +179,11 @@ def emit_run_start(
     Only deterministic facts of the instance and configuration — never
     wall-clock or process identity — so traces from identical seeds are
     byte-identical (the determinism suite compares raw bytes).
+
+    Carries the full instance (``Problem.to_dict``) so a trace is
+    self-contained: the replay validator (:mod:`repro.obs.analyze`)
+    re-checks schedule validity from the trace alone, without the
+    original problem file or a re-run.
     """
     tracer.emit(
         "run_start",
@@ -191,6 +196,7 @@ def emit_run_start(
             "arcs": len(problem.arcs),
             "max_steps": max_steps,
             "total_deficit": state.total_deficit,
+            "instance": problem.to_dict(),
         },
     )
 
@@ -208,10 +214,13 @@ def emit_step_event(
 
     Carries the dynamics the end-of-run aggregates hide: tokens moved
     and actually gained, the remaining per-vertex deficit, the
-    holder-count histogram (rarest-token starvation shows up here), and
-    arc utilization.  Callers only reach this behind a hoisted
-    ``tracer.enabled`` check, so the untraced hot path never builds any
-    of these payloads.
+    holder-count histogram (rarest-token starvation shows up here), arc
+    utilization, and ``transfers`` — the full per-arc token movement
+    (sorted ``[src, dst, [tokens...]]`` triples), which is what lets
+    ``trace-diff`` localize a divergence down to the token and lets
+    ``trace-verify`` replay the run.  Callers only reach this behind a
+    hoisted ``tracer.enabled`` check, so the untraced hot path never
+    builds any of these payloads.
     """
     moves = 0
     for tokens in timestep.sends.values():
@@ -232,6 +241,10 @@ def emit_step_event(
         "deficit_by_vertex": list(state.deficit),
         "holder_hist": [[count, hist[count]] for count in sorted(hist)],
         "arc_util": round(len(timestep.sends) / num_arcs, 6) if num_arcs else 0.0,
+        "transfers": [
+            [src, dst, sorted(timestep.sends[(src, dst)])]
+            for src, dst in sorted(timestep.sends)
+        ],
     }
     if extra:
         fields.update(extra)

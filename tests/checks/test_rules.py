@@ -1,4 +1,4 @@
-"""Positive and negative fixtures for every ocdlint rule (OCD001–OCD006).
+"""Positive and negative fixtures for every ocdlint rule (OCD001–OCD008).
 
 Each fixture is a small source string linted under an impersonated path so
 the rule's package scoping applies exactly as it does on the real tree.
@@ -429,4 +429,78 @@ class TestBarePrint:
         def solve(problem):
             _logger.info("solving %s", problem)
         """
+        assert codes(src, path=SIM) == []
+
+
+# ======================================================================
+# OCD008 — unknown-trace-event-kind
+# ======================================================================
+class TestUnknownTraceEventKind:
+    def test_unknown_kind_flagged(self):
+        src = """
+        def run(tracer):
+            tracer.emit("run_started", {"n": 3})
+        """
+        assert codes(src, path=SIM) == ["OCD008"]
+
+    def test_self_tracer_attribute_flagged(self):
+        src = """
+        class Engine:
+            def run(self):
+                self.tracer.emit("step_done", {})
+        """
+        assert codes(src, path=SIM) == ["OCD008"]
+
+    def test_private_tracer_attribute_flagged(self):
+        src = """
+        class Engine:
+            def run(self):
+                self._tracer.emit("checkpoint", {})
+        """
+        assert codes(src, path=SIM) == ["OCD008"]
+
+    def test_message_names_schema(self):
+        diags = lint(
+            "def f(tracer):\n    tracer.emit('oops', {})\n",
+            path=SIM,
+            select="OCD008",
+        )
+        assert len(diags) == 1
+        assert "EVENT_KINDS" in diags[0].message
+        assert "run_start" in diags[0].message
+
+    def test_every_schema_kind_ok(self):
+        from repro.obs.events import EVENT_KINDS
+
+        body = "\n".join(
+            f"    tracer.emit({kind!r}, {{}})" for kind in EVENT_KINDS
+        )
+        assert codes(f"def f(tracer):\n{body}\n", path=SIM) == []
+
+    def test_non_tracer_emit_ignored(self):
+        src = """
+        def f(bus):
+            bus.emit("job_done", {})
+        """
+        assert codes(src, path=SIM) == []
+
+    def test_dynamic_kind_ignored(self):
+        src = """
+        def f(tracer, kind):
+            tracer.emit(kind, {})
+        """
+        assert codes(src, path=SIM) == []
+
+    def test_applies_outside_model_packages(self):
+        src = """
+        def f(tracer):
+            tracer.emit("bogus_kind", {})
+        """
+        assert codes(src, path=EXPERIMENTS) == ["OCD008"]
+
+    def test_suppression_honored(self):
+        src = (
+            "def f(tracer):\n"
+            "    tracer.emit('bogus', {})  # ocdlint: disable=OCD008\n"
+        )
         assert codes(src, path=SIM) == []

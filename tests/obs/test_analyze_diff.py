@@ -1,0 +1,163 @@
+"""Differential trace debugging: first-divergence localization + retrace."""
+
+from __future__ import annotations
+
+import random
+
+from repro.heuristics import HEURISTIC_FACTORIES
+from repro.obs import JsonlTracer
+from repro.obs.analyze import diff_traces, retrace_run
+from repro.sim import run_heuristic
+from repro.sim.reference import make_reference_heuristic, reference_run_heuristic
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+
+def _problem(seed: int = 5, n: int = 14, tokens: int = 7):
+    return single_file(random_graph(n, random.Random(seed)), file_tokens=tokens)
+
+
+def _trace(path, problem, seed: int, heuristic: str = "random") -> None:
+    with JsonlTracer(path=str(path)) as tracer:
+        run_heuristic(
+            problem, HEURISTIC_FACTORIES[heuristic](), seed=seed, tracer=tracer
+        )
+
+
+class TestDiffTraces:
+    def test_same_seed_is_byte_identical(self, tmp_path):
+        problem = _problem()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _trace(a, problem, seed=2)
+        _trace(b, problem, seed=2)
+        result = diff_traces(str(a), str(b))
+        assert result.identical_bytes
+        assert result.identical
+        assert "byte-identical" in result.render()
+
+    def test_different_seeds_localize_first_divergence(self, tmp_path):
+        problem = _problem()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _trace(a, problem, seed=2)
+        _trace(b, problem, seed=9)
+        result = diff_traces(str(a), str(b))
+        assert not result.identical
+        d = result.divergence
+        assert d is not None
+        # The divergence names a timestep and a field, per the contract.
+        assert d.step is not None
+        assert d.field is not None
+        assert d.run == 0
+        # It is the *earliest* one: no prior step differs.
+        text = result.render()
+        assert f"step {d.step}" in text
+
+    def test_divergence_summary_is_semantic_for_transfers(self, tmp_path):
+        problem = _problem()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _trace(a, problem, seed=2)
+        _trace(b, problem, seed=9)
+        d = diff_traces(str(a), str(b)).divergence
+        if d.field == "transfers":
+            assert "transferred" in d.summary or "stalls" in d.summary
+            assert "run A" in d.summary and "run B" in d.summary
+
+    def test_truncated_trace_reports_extra_events(self, tmp_path):
+        problem = _problem()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _trace(a, problem, seed=2)
+        lines = (tmp_path / "a.jsonl").read_text().splitlines(keepends=True)
+        (tmp_path / "b.jsonl").write_text("".join(lines[:-1]))
+        result = diff_traces(str(a), str(b))
+        assert not result.identical
+        assert "extra event" in result.divergence.summary
+
+    def test_run_count_mismatch_reported(self, tmp_path):
+        problem = _problem()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _trace(a, problem, seed=2)
+        with JsonlTracer(path=str(b)) as tracer:
+            for h in ("random", "local"):
+                run_heuristic(
+                    problem, HEURISTIC_FACTORIES[h](), seed=2, tracer=tracer
+                )
+        result = diff_traces(str(a), str(b))
+        assert result.divergence.kind == "run"
+        assert (result.divergence.a, result.divergence.b) == (1, 2)
+
+    def test_ignore_fields_masks_differences(self, tmp_path):
+        problem = _problem()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        with JsonlTracer(path=str(a)) as tracer:
+            tracer.emit("trace_header", {"scenario": "x", "seed": 1})
+            run_heuristic(
+                problem, HEURISTIC_FACTORIES["local"](), seed=1, tracer=tracer
+            )
+        with JsonlTracer(path=str(b)) as tracer:
+            tracer.emit("trace_header", {"scenario": "x", "seed": 99})
+            run_heuristic(
+                problem, HEURISTIC_FACTORIES["local"](), seed=1, tracer=tracer
+            )
+        strict = diff_traces(str(a), str(b))
+        assert strict.divergence.kind == "trace_header"
+        assert strict.divergence.field == "seed"
+        relaxed = diff_traces(str(a), str(b), ignore_fields=("seed",))
+        assert relaxed.identical
+        assert not relaxed.identical_bytes
+
+
+class TestRetrace:
+    def test_retraced_engine_schedule_is_byte_identical(self, tmp_path):
+        """Replaying a live engine's own schedule reproduces its trace."""
+        problem = _problem()
+        live, replay = tmp_path / "live.jsonl", tmp_path / "replay.jsonl"
+        heuristic = HEURISTIC_FACTORIES["local"]()
+        with JsonlTracer(path=str(live)) as tracer:
+            result = run_heuristic(problem, heuristic, seed=4, tracer=tracer)
+        with JsonlTracer(path=str(replay)) as tracer:
+            retrace_run(
+                tracer,
+                problem,
+                result.schedule,
+                result.success,
+                heuristic_name=heuristic.name,
+                engine="sim",
+            )
+        assert live.read_bytes() == replay.read_bytes()
+
+    def test_reference_retrace_matches_live_modulo_engine_label(self, tmp_path):
+        """Engine vs frozen oracle: same seed, divergence only in 'engine'."""
+        problem = _problem()
+        live, oracle = tmp_path / "live.jsonl", tmp_path / "oracle.jsonl"
+        for name in ("round_robin", "local"):
+            with JsonlTracer(path=str(live)) as tracer:
+                run_heuristic(
+                    problem, HEURISTIC_FACTORIES[name](), seed=6, tracer=tracer
+                )
+            ref = reference_run_heuristic(
+                problem, make_reference_heuristic(name), seed=6
+            )
+            with JsonlTracer(path=str(oracle)) as tracer:
+                retrace_run(
+                    tracer,
+                    problem,
+                    ref.schedule,
+                    ref.success,
+                    heuristic_name=name,
+                    engine="reference",
+                )
+            strict = diff_traces(str(live), str(oracle))
+            assert strict.divergence.field == "engine"
+            relaxed = diff_traces(
+                str(live), str(oracle), ignore_fields=("engine",)
+            )
+            assert relaxed.identical, relaxed.render()
+
+    def test_disabled_tracer_is_noop(self):
+        from repro.obs import NULL_TRACER
+
+        problem = _problem(n=6, tokens=3)
+        result = run_heuristic(problem, HEURISTIC_FACTORIES["local"](), seed=0)
+        retrace_run(
+            NULL_TRACER, problem, result.schedule, result.success, "local"
+        )  # must not raise or emit

@@ -1,0 +1,129 @@
+"""Bench trend gating: paired ratios, thresholds, and snapshot shapes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.analyze import CaseTrend, compare_bench, load_bench
+
+
+def _write(path, cases, wrap: bool = True) -> str:
+    payload = {"_comment": "test", "repeats": 3, "cases": cases} if wrap else cases
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _cases(**speedups) -> dict:
+    return {
+        label.replace("_", "/"): {"speedup": value, "moves": 100}
+        for label, value in speedups.items()
+    }
+
+
+class TestLoadBench:
+    def test_wrapped_shape(self, tmp_path):
+        path = _write(tmp_path / "b.json", _cases(a=2.0))
+        assert load_bench(path) == {"a": {"speedup": 2.0, "moves": 100}}
+
+    def test_bare_shape(self, tmp_path):
+        path = _write(tmp_path / "b.json", _cases(a=2.0), wrap=False)
+        cases = load_bench(path)
+        assert cases["a"]["speedup"] == 2.0
+        # Non-dict top-level metadata is not a case.
+        assert "_comment" not in cases
+
+    def test_committed_bench_file_loads(self):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "..", "BENCH_engine.json")
+        if not os.path.exists(path):
+            pytest.skip("requires the repo checkout layout")
+        cases = load_bench(path)
+        assert cases
+        assert all("speedup" in case for case in cases.values())
+
+    def test_no_cases_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"_comment": "nothing here"}))
+        with pytest.raises(ValueError, match="no cases"):
+            load_bench(str(path))
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_bench(str(path))
+
+
+class TestCaseTrend:
+    def test_ratio_and_regression(self):
+        case = CaseTrend(label="x", metric="speedup", old=4.0, new=3.0)
+        assert case.ratio == pytest.approx(0.75)
+        assert case.regressed(0.10)
+        assert not case.regressed(0.30)
+
+    def test_boundary_is_not_a_regression(self):
+        case = CaseTrend(label="x", metric="speedup", old=10.0, new=9.0)
+        assert not case.regressed(0.10)  # ratio exactly 1 - threshold
+
+    def test_zero_baseline(self):
+        assert CaseTrend("x", "speedup", 0.0, 1.0).ratio == float("inf")
+        assert CaseTrend("x", "speedup", 0.0, 0.0).ratio == 1.0
+
+
+class TestCompareBench:
+    def test_no_regression_ok(self, tmp_path):
+        old = _write(tmp_path / "old.json", _cases(a=2.0, b=3.0))
+        new = _write(tmp_path / "new.json", _cases(a=2.1, b=2.9))
+        report = compare_bench(old, new, threshold=0.10)
+        assert report.ok
+        assert len(report.cases) == 2
+        assert "within threshold" in report.render()
+
+    def test_regression_flagged(self, tmp_path):
+        old = _write(tmp_path / "old.json", _cases(a=2.0, b=3.0))
+        new = _write(tmp_path / "new.json", _cases(a=2.0, b=2.0))
+        report = compare_bench(old, new, threshold=0.10)
+        assert not report.ok
+        assert [c.label for c in report.regressions] == ["b"]
+        assert "REGRESSED" in report.render()
+
+    def test_threshold_is_configurable(self, tmp_path):
+        old = _write(tmp_path / "old.json", _cases(a=2.0))
+        new = _write(tmp_path / "new.json", _cases(a=1.7))
+        assert not compare_bench(old, new, threshold=0.10).ok
+        assert compare_bench(old, new, threshold=0.20).ok
+
+    def test_added_and_removed_cases_reported_not_gated(self, tmp_path):
+        old = _write(tmp_path / "old.json", _cases(a=2.0, gone=5.0))
+        new = _write(tmp_path / "new.json", _cases(a=2.0, fresh=1.0))
+        report = compare_bench(old, new, threshold=0.10)
+        assert report.ok
+        assert report.added == ("fresh",)
+        assert report.removed == ("gone",)
+        text = report.render()
+        assert "only in new" in text and "only in old" in text
+
+    def test_missing_metric_rejected(self, tmp_path):
+        old = _write(tmp_path / "old.json", {"a": {"moves": 1}})
+        new = _write(tmp_path / "new.json", _cases(a=2.0))
+        with pytest.raises(ValueError, match="lacks metric"):
+            compare_bench(old, new)
+
+    def test_alternate_metric(self, tmp_path):
+        old = _write(
+            tmp_path / "old.json", {"a": {"speedup": 1.0, "incremental_moves_per_sec": 1000}}
+        )
+        new = _write(
+            tmp_path / "new.json", {"a": {"speedup": 1.0, "incremental_moves_per_sec": 500}}
+        )
+        report = compare_bench(old, new, metric="incremental_moves_per_sec")
+        assert not report.ok
+
+    def test_self_compare_is_always_clean(self, tmp_path):
+        path = _write(tmp_path / "b.json", _cases(a=3.12, b=1.14))
+        report = compare_bench(path, path)
+        assert report.ok
+        assert all(c.ratio == 1.0 for c in report.cases)

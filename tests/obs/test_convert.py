@@ -1,0 +1,106 @@
+"""Edge cases of the legacy-telemetry converter (``repro.obs.convert``)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import convert_telemetry, read_events
+from repro.obs.convert import upgrade_record
+from repro.obs.events import SCHEMA_VERSION, make_event
+
+
+def _legacy_row(index: int = 0) -> dict:
+    return {"figure": "fig4", "kind": "trial", "index": index, "ok": True}
+
+
+def _write_lines(path, lines) -> str:
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+    return str(path)
+
+
+class TestUpgradeRecord:
+    def test_legacy_row_gains_envelope(self):
+        event = upgrade_record(_legacy_row())
+        assert event["event"] == "sweep_point"
+        assert event["schema_version"] == SCHEMA_VERSION
+        assert event["figure"] == "fig4"
+
+    def test_schema_event_passes_through_unchanged(self):
+        event = make_event("sweep_point", _legacy_row())
+        assert upgrade_record(event) is event
+
+    def test_unrecognisable_record_rejected(self):
+        with pytest.raises(ValueError, match="neither"):
+            upgrade_record({"foo": 1})
+
+
+class TestConvertTelemetry:
+    def test_mixed_legacy_and_event_file(self, tmp_path):
+        src = _write_lines(
+            tmp_path / "mixed.jsonl",
+            [
+                json.dumps(_legacy_row(0)),
+                json.dumps(make_event("sweep_point", _legacy_row(1))),
+                json.dumps(_legacy_row(2)),
+            ],
+        )
+        dst = str(tmp_path / "out.jsonl")
+        total, upgraded = convert_telemetry(src, dst)
+        assert (total, upgraded) == (3, 2)
+        events = read_events(dst)
+        assert [e["index"] for e in events] == [0, 1, 2]
+        assert all(e["event"] == "sweep_point" for e in events)
+
+    def test_blank_and_whitespace_lines_skipped(self, tmp_path):
+        src = _write_lines(
+            tmp_path / "gaps.jsonl",
+            ["", json.dumps(_legacy_row(0)), "   ", "\t", json.dumps(_legacy_row(1))],
+        )
+        dst = str(tmp_path / "out.jsonl")
+        total, upgraded = convert_telemetry(src, dst)
+        assert (total, upgraded) == (2, 2)
+
+    def test_non_dict_json_line_rejected_with_location(self, tmp_path):
+        src = _write_lines(
+            tmp_path / "bad.jsonl", [json.dumps(_legacy_row()), "[1, 2, 3]"]
+        )
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2: expected a JSON object"):
+            convert_telemetry(src, str(tmp_path / "out.jsonl"))
+
+    def test_idempotent(self, tmp_path):
+        src = _write_lines(
+            tmp_path / "legacy.jsonl",
+            [json.dumps(_legacy_row(i)) for i in range(3)],
+        )
+        once = str(tmp_path / "once.jsonl")
+        twice = str(tmp_path / "twice.jsonl")
+        assert convert_telemetry(src, once) == (3, 3)
+        assert convert_telemetry(once, twice) == (3, 0)
+        with open(once, encoding="utf-8") as a, open(twice, encoding="utf-8") as b:
+            assert a.read() == b.read()
+
+
+class TestInPlaceGuard:
+    def test_same_string_rejected(self, tmp_path):
+        src = _write_lines(tmp_path / "x.jsonl", [json.dumps(_legacy_row())])
+        with pytest.raises(ValueError, match="in place"):
+            convert_telemetry(src, src)
+
+    def test_same_file_different_spelling_rejected(self, tmp_path, monkeypatch):
+        """Regression: './x.jsonl' vs 'x.jsonl' used to truncate the input."""
+        monkeypatch.chdir(tmp_path)
+        _write_lines(tmp_path / "x.jsonl", [json.dumps(_legacy_row())])
+        with pytest.raises(ValueError, match="in place"):
+            convert_telemetry("x.jsonl", os.path.join(".", "x.jsonl"))
+        # The input survived the refused conversion.
+        assert json.loads((tmp_path / "x.jsonl").read_text())["figure"] == "fig4"
+
+    def test_symlink_to_same_file_rejected(self, tmp_path):
+        src = _write_lines(tmp_path / "x.jsonl", [json.dumps(_legacy_row())])
+        link = tmp_path / "alias.jsonl"
+        os.symlink(src, link)
+        with pytest.raises(ValueError, match="in place"):
+            convert_telemetry(src, str(link))

@@ -16,6 +16,7 @@ EXPECTED_OUTPUT = {
     "online_vs_offline.py": ["clairvoyant optimum", "decoys"],
     "dynamic_network.py": ["uptime", "oracle", "parity"],
     "trace_inspect.py": ["schema-versioned", "convergence", "heuristic_select"],
+    "trace_diff.py": ["byte-identical", "first divergence", "invariants hold"],
 }
 
 
