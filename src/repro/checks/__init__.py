@@ -3,46 +3,77 @@
 The simulator enforces the Section 3.1 constraints *dynamically*
 (:class:`repro.sim.HeuristicViolation` fires when a heuristic cheats at
 runtime), but a violation is only caught if some test happens to execute
-the offending path.  This package is the static counterpart: a small
-AST-based rule framework plus repo-grounded rules (codes ``OCD001``…)
-that pin down the structural invariants every subsystem relies on —
-seeded randomness, :class:`~repro.core.problem.Problem` immutability,
-deterministic schedule emission, integral timesteps, engine/heuristic
-layering, and typed public surfaces.
+the offending path.  This package is the static counterpart, in two
+layers:
+
+* Per-file rules (``OCD001``–``OCD008``): AST checks over one module at
+  a time — seeded randomness, :class:`~repro.core.problem.Problem`
+  immutability, deterministic schedule emission, integral timesteps,
+  engine/heuristic layering, typed public surfaces, trace emission
+  hygiene.
+* Whole-program rules (``OCD010``–``OCD014``): a symbol table and call
+  graph over the whole tree (:mod:`repro.checks.program`) powering
+  taint analysis (nondeterminism reaching model code through any call
+  chain), the static trace-contract check against
+  :data:`repro.obs.events.EVENT_SCHEMAS`, and multiprocessing-safety
+  analysis of sweep worker code.
 
 Run it as ``python -m repro.checks [paths...]`` (defaults to ``src`` and
-``examples``); the tier-1 test suite runs the same gate over the tree.
+``examples``) or via the ``ocdlint`` console script; the tier-1 test
+suite runs the same gate over the tree.  ``docs/CHECKS.md`` documents
+every rule, the suppression syntax, the baseline workflow, and the
+output formats (text, JSON, SARIF, GitHub annotations).
 
-Suppressions: append ``# ocdlint: disable=OCD003 -- <justification>`` to
-the offending line, or put ``# ocdlint: disable-file=OCD003`` on its own
-line to silence a code for a whole file.
+Suppressions: append ``# ocd: ignore[OCD003] -- <justification>`` to the
+offending line (the legacy ``# ocdlint: disable=OCD003`` spelling still
+works), or ``# ocd: ignore-file[OCD003]`` on its own line for a whole
+file.  Pre-existing findings can be parked in a committed baseline file
+(``ocdlint --write-baseline``) instead.
 """
 
 from __future__ import annotations
 
+# NOTE: the *function* framework.program_rules is not re-exported here —
+# the submodule of the same name would shadow it on the package object;
+# import it from repro.checks.framework when you need the rule instances.
 from repro.checks.framework import (
     Diagnostic,
     LintContext,
+    ProgramRule,
     Rule,
     all_rules,
+    expand_paths,
+    file_rules,
     package_of,
     register_rule,
     run_file,
     run_paths,
     run_source,
 )
+from repro.checks.program import (
+    ModuleSummary,
+    ProgramIndex,
+    summarize_source,
+)
 
-# Importing the rules module populates the registry as a side effect.
+# Importing the rule modules populates the registry as a side effect.
 from repro.checks import rules as _rules  # noqa: F401
+from repro.checks import program_rules as _program_rules  # noqa: F401
 
 __all__ = [
     "Diagnostic",
     "LintContext",
+    "ModuleSummary",
+    "ProgramIndex",
+    "ProgramRule",
     "Rule",
     "all_rules",
+    "expand_paths",
+    "file_rules",
     "package_of",
     "register_rule",
     "run_file",
     "run_paths",
     "run_source",
+    "summarize_source",
 ]

@@ -1,0 +1,119 @@
+"""The ocdlint baseline: park pre-existing findings without silencing rules.
+
+A baseline is a committed JSON file mapping finding *fingerprints* to
+occurrence counts.  Runs subtract baselined findings from their output,
+so a rule can be turned on for a tree with legacy violations: new code
+is held to the rule immediately while the debt is paid down over time.
+Shrinking is free — a baselined finding that disappears simply stops
+matching — but *growing* a baselined finding count is an error, which is
+what keeps the baseline a ratchet instead of a loophole.
+
+Fingerprints hash ``path|code|message`` (not the line number), so
+findings survive unrelated edits that shift lines.  Two identical
+findings in one file share a fingerprint and are counted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.checks.framework import Diagnostic
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable identity of a finding, independent of its line number."""
+    payload = f"{diag.path}|{diag.code}|{diag.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline contents: fingerprint -> accepted count."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return Baseline()
+    data = json.loads(p.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}; "
+            f"regenerate with `ocdlint --write-baseline`"
+        )
+    entries = {
+        str(fp): int(count) for fp, count in data.get("entries", {}).items()
+    }
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: str, diagnostics: Sequence[Diagnostic]) -> Baseline:
+    """Write the baseline that accepts exactly ``diagnostics``."""
+    entries: Dict[str, int] = {}
+    for diag in diagnostics:
+        fp = fingerprint(diag)
+        entries[fp] = entries.get(fp, 0) + 1
+    baseline = Baseline(entries=entries)
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "ocdlint baseline: accepted pre-existing findings by "
+            "fingerprint. Regenerate with `ocdlint --write-baseline`; "
+            "new findings are never auto-accepted."
+        ),
+        "entries": {fp: entries[fp] for fp in sorted(entries)},
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return baseline
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic], baseline: Baseline
+) -> Tuple[List[Diagnostic], int, List[str]]:
+    """Split findings against a baseline.
+
+    Returns ``(new, matched, stale)``: the findings the run must report,
+    how many were absorbed by the baseline, and the fingerprints the
+    baseline lists but the run no longer produces (candidates for a
+    shrink — informational, never an error).
+
+    When a fingerprint occurs more often than the baseline accepts, the
+    diagnostics are kept in sorted order and the *first* ``count`` are
+    absorbed — deterministic, and the overflow surfaces as new findings.
+    """
+    remaining = dict(baseline.entries)
+    new: List[Diagnostic] = []
+    matched = 0
+    for diag in sorted(diagnostics):
+        fp = fingerprint(diag)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            matched += 1
+        else:
+            new.append(diag)
+    stale = sorted(fp for fp, count in remaining.items() if count > 0)
+    return new, matched, stale

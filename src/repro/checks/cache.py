@@ -1,0 +1,192 @@
+"""Content-hash incremental cache for repo-wide ocdlint runs.
+
+Per file, the expensive work is parsing and extraction: the per-file
+rule diagnostics and the :class:`~repro.checks.program.ModuleSummary`
+are both pure functions of the file's bytes (plus the linter's own
+versions), so they are cached under a key of
+
+    sha256(file bytes) x sorted(selected rule codes) x SUMMARY_VERSION
+    x CACHE_VERSION
+
+The whole-program pass is *not* cached — it is cross-file by nature and
+cheap once summaries exist (no parsing), so it re-runs from cached
+summaries on every invocation.  This keeps the cache sound: editing one
+file re-extracts that file, and the program pass always sees the true
+current tree.
+
+The cache lives in one JSON file (default ``results/cache/ocdlint.json``
+— the directory is gitignored); a corrupt or version-skewed file is
+treated as empty, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.checks.framework import Diagnostic
+from repro.checks.program import SUMMARY_VERSION, ModuleSummary
+
+#: (per-line codes, whole-file codes) — framework.suppressions_for's shape.
+Suppressions = Tuple[Dict[int, Set[str]], Set[str]]
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_PATH",
+    "LintCache",
+    "content_key",
+]
+
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_PATH = "results/cache/ocdlint.json"
+
+
+def content_key(source_bytes: bytes, select_key: str) -> str:
+    """Cache key for one file's per-file results."""
+    digest = hashlib.sha256()
+    digest.update(source_bytes)
+    digest.update(b"\x00")
+    digest.update(select_key.encode("utf-8"))
+    digest.update(f"\x00summary={SUMMARY_VERSION}\x00cache={CACHE_VERSION}".encode())
+    return digest.hexdigest()
+
+
+def _diag_to_json(diag: Diagnostic) -> Dict[str, Any]:
+    return {
+        "path": diag.path,
+        "line": diag.line,
+        "col": diag.col,
+        "code": diag.code,
+        "message": diag.message,
+    }
+
+
+def _diag_from_json(data: Dict[str, Any]) -> Diagnostic:
+    return Diagnostic(
+        path=data["path"],
+        line=data["line"],
+        col=data["col"],
+        code=data["code"],
+        message=data["message"],
+    )
+
+
+class LintCache:
+    """One JSON file of per-path cached lint results.
+
+    Entries are keyed by *path* and validated by content key, so a file
+    whose bytes changed simply misses.  ``prune`` drops entries for
+    paths outside the current run, keeping the file from growing without
+    bound when trees are re-rooted.
+    """
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None:
+            self._entries = self._load(path)
+
+    @staticmethod
+    def _load(path: str) -> Dict[str, Dict[str, Any]]:
+        p = Path(path)
+        if not p.exists():
+            return {}
+        try:
+            data = json.loads(p.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            return {}
+        if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+            return {}
+        entries = data.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    # -- lookup / record -------------------------------------------------
+    def get(
+        self, path: str, key: str
+    ) -> Optional[
+        Tuple[List[Diagnostic], Optional[ModuleSummary], "Suppressions"]
+    ]:
+        """Cached (file diagnostics, summary, suppression sets) for
+        ``path``, or None on miss.
+
+        The summary slot is None for files that did not parse (their
+        syntax-error diagnostic is still cached).
+        """
+        entry = self._entries.get(path)
+        if entry is None or entry.get("key") != key:
+            self.misses += 1
+            return None
+        try:
+            diags = [_diag_from_json(d) for d in entry["diagnostics"]]
+            summary_data = entry["summary"]
+            summary: Optional[ModuleSummary] = None
+            if summary_data is not None:
+                summary = ModuleSummary.from_json(summary_data)
+                if summary is None:  # version skew inside the entry
+                    self.misses += 1
+                    return None
+            raw = entry.get("suppressions", {})
+            per_line = {
+                int(lineno): set(codes)
+                for lineno, codes in raw.get("lines", {}).items()
+            }
+            whole_file = set(raw.get("file", []))
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return diags, summary, (per_line, whole_file)
+
+    def put(
+        self,
+        path: str,
+        key: str,
+        diagnostics: Sequence[Diagnostic],
+        summary: Optional[ModuleSummary],
+        suppressions: "Suppressions",
+    ) -> None:
+        """Record one file's results.
+
+        ``suppressions`` is the parsed ``(per_line, whole_file)`` pair
+        from :func:`repro.checks.framework.suppressions_for` — the
+        program pass needs it to honor ``# ocd: ignore`` comments on
+        cached files without re-reading their source.
+        """
+        per_line, whole_file = suppressions
+        self._entries[path] = {
+            "key": key,
+            "diagnostics": [_diag_to_json(d) for d in diagnostics],
+            "summary": summary.to_json() if summary is not None else None,
+            "suppressions": {
+                "lines": {
+                    str(lineno): sorted(codes)
+                    for lineno, codes in per_line.items()
+                },
+                "file": sorted(whole_file),
+            },
+        }
+
+    # -- persistence -----------------------------------------------------
+    def prune(self, keep_paths: Sequence[str]) -> None:
+        keep = set(keep_paths)
+        self._entries = {p: e for p, e in self._entries.items() if p in keep}
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        p = Path(self.path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "entries": {k: self._entries[k] for k in sorted(self._entries)},
+        }
+        tmp = p.with_suffix(p.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, separators=(",", ":")) + "\n", encoding="utf-8"
+        )
+        tmp.replace(p)

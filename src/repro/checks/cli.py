@@ -1,21 +1,37 @@
 """Command-line front ends for the static-analysis layer.
 
 ``python -m repro.checks [paths...]`` (or the ``ocdlint`` console script)
-runs the custom AST rules; the ``lint`` console script chains ocdlint
-with ``ruff`` and ``mypy`` when those tools are installed, skipping them
-with a notice when they are not (the container image may not ship them).
+runs the per-file AST rules and the whole-program passes through the
+cached runner; the ``lint`` console script chains ocdlint with ``ruff``
+and ``mypy`` when those tools are installed, skipping them with a notice
+when they are not (the container image may not ship them).
+
+Workflow flags::
+
+    ocdlint --format sarif > ocdlint.sarif     # code-scanning upload
+    ocdlint --format github                    # inline PR annotations
+    ocdlint --no-cache                         # bypass the content cache
+    ocdlint --baseline ocdlint-baseline.json   # subtract accepted debt
+    ocdlint --write-baseline                   # (re)accept current findings
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import shutil
 import subprocess
 import sys
 from typing import List, Optional, Sequence
 
-from repro.checks.framework import all_rules, run_paths
+from repro.checks.cache import DEFAULT_CACHE_PATH
+from repro.checks.framework import all_rules
+from repro.checks.output import (
+    render_github,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.checks.runner import lint
 
 __all__ = ["main", "lint_main"]
 
@@ -52,9 +68,36 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
         help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--no-program",
+        action="store_true",
+        help="skip the whole-program passes (OCD010+); per-file rules only",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=DEFAULT_CACHE_PATH,
+        help=f"incremental cache file (default: {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental cache",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file of accepted findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0 "
+        "(requires --baseline)",
     )
     return parser
 
@@ -79,33 +122,74 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
+    if args.write_baseline and not args.baseline:
+        print(
+            "ocdlint: error: --write-baseline requires --baseline PATH",
+            file=sys.stderr,
+        )
+        return 2
     select = args.select.split(",") if args.select else None
     try:
-        diagnostics = run_paths(args.paths, select=select)
+        result = lint(
+            args.paths,
+            select=select,
+            program=not args.no_program,
+            cache_path=None if args.no_cache else args.cache,
+            baseline_path=args.baseline,
+        )
     except (FileNotFoundError, ValueError) as exc:
         print(f"ocdlint: error: {exc}", file=sys.stderr)
         return 2
+
+    if args.write_baseline:
+        from repro.checks.baseline import write_baseline
+
+        baseline = write_baseline(args.baseline, result.all_diagnostics)
+        print(
+            f"ocdlint: wrote baseline {args.baseline} "
+            f"({baseline.total} finding(s))",
+            file=sys.stderr,
+        )
+        return 0
+
+    diagnostics = result.diagnostics
     if args.format == "json":
         print(
-            json.dumps(
-                [
-                    {
-                        "path": d.path,
-                        "line": d.line,
-                        "col": d.col,
-                        "code": d.code,
-                        "message": d.message,
-                    }
-                    for d in diagnostics
-                ],
-                indent=2,
+            render_json(
+                diagnostics,
+                files_checked=result.files_checked,
+                baseline_matched=result.baseline_matched,
+                cache_hits=result.cache_hits,
+                cache_misses=result.cache_misses,
             )
         )
+    elif args.format == "sarif":
+        print(render_sarif(diagnostics, select=select))
+    elif args.format == "github":
+        output = render_github(diagnostics)
+        if output:
+            print(output)
     else:
-        for diag in diagnostics:
-            print(diag.render())
+        output = render_text(diagnostics)
+        if output:
+            print(output)
+    if result.baseline_stale:
+        print(
+            f"ocdlint: note: {len(result.baseline_stale)} baseline "
+            f"entr(y/ies) no longer match any finding; shrink the baseline "
+            f"with --write-baseline",
+            file=sys.stderr,
+        )
     if diagnostics:
-        print(f"ocdlint: {len(diagnostics)} diagnostic(s)", file=sys.stderr)
+        suffix = (
+            f" ({result.baseline_matched} baselined)"
+            if result.baseline_matched
+            else ""
+        )
+        print(
+            f"ocdlint: {len(diagnostics)} diagnostic(s){suffix}",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

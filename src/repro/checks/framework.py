@@ -1,10 +1,21 @@
 """Rule framework for ocdlint: diagnostics, registry, suppressions, runner.
 
 A *rule* is a class with a stable code (``OCD001``…), a short name, the
-Section 3.1 invariant it guards, and a package scope.  Rules inspect one
-parsed module at a time through a :class:`LintContext` and return
-:class:`Diagnostic` records; the runner applies line- and file-level
-suppression comments and emits the survivors in a deterministic order.
+Section 3.1 invariant it guards, and a package scope.  Per-file rules
+(:class:`Rule`) inspect one parsed module at a time through a
+:class:`LintContext`; whole-program rules (:class:`ProgramRule`,
+OCD010+) see every module at once through a
+:class:`repro.checks.program.ProgramIndex`.  The runner applies line-
+and file-level suppression comments and emits the survivors in a
+deterministic order.
+
+Two suppression spellings are accepted, on the offending line or the
+whole file::
+
+    x = draw()          # ocd: ignore[OCD010] -- vetted: test-only path
+    y = helper()        # ocdlint: disable=OCD003
+    # ocd: ignore-file[OCD013]
+    # ocdlint: disable-file=OCD007
 
 The framework is dependency-free (``ast`` + ``re`` only) so the gate can
 run on any machine that can run the code it checks.
@@ -16,18 +27,38 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.checks.program import ModuleSummary, ProgramIndex
 
 __all__ = [
     "Diagnostic",
     "LintContext",
+    "ProgramRule",
     "Rule",
     "all_rules",
+    "expand_paths",
+    "file_rules",
     "package_of",
+    "program_rules",
     "register_rule",
     "run_file",
     "run_paths",
+    "run_program_pass",
     "run_source",
+    "suppressions_for",
 ]
 
 #: Code used for files the linter itself cannot process (syntax errors).
@@ -98,13 +129,51 @@ class Rule:
         )
 
 
-_REGISTRY: Dict[str, Type[Rule]] = {}
+class ProgramRule:
+    """Base class for whole-program rules (OCD010+).
+
+    Program rules see the entire analyzed tree at once through a
+    :class:`repro.checks.program.ProgramIndex` and may emit diagnostics
+    in any module.  ``packages`` scopes which modules the rule *reports
+    in* (evidence may come from anywhere — that is the point).
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    invariant: str = ""
+    packages: Optional[FrozenSet[str]] = None
+    exclude_packages: FrozenSet[str] = frozenset()
+
+    def reports_in(self, package: str) -> bool:
+        if package in self.exclude_packages:
+            return False
+        if self.packages is not None and package not in self.packages:
+            return False
+        return True
+
+    def check_program(self, index: "ProgramIndex") -> List[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(
+        self, path: str, line: int, col: int, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=path,
+            line=line,
+            col=col,
+            code=self.code,
+            message=f"[{self.name}] {message}",
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule] | Type[ProgramRule]] = {}
 
 _CODE_RE = re.compile(r"^OCD\d{3}$")
 
 
-def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding a rule to the global registry."""
+def register_rule(rule_cls: Type) -> Type:
+    """Class decorator adding a (file or program) rule to the registry."""
     if not _CODE_RE.match(rule_cls.code):
         raise ValueError(f"rule {rule_cls.__name__} has invalid code {rule_cls.code!r}")
     if rule_cls.code in _REGISTRY:
@@ -113,8 +182,7 @@ def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
     return rule_cls
 
 
-def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
-    """Instances of every registered rule (or the selected codes), by code."""
+def _selected_codes(select: Optional[Iterable[str]]) -> List[str]:
     codes = sorted(_REGISTRY)
     if select is not None:
         wanted = {c.strip().upper() for c in select if c.strip()}
@@ -122,7 +190,22 @@ def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
         if unknown:
             raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
         codes = [c for c in codes if c in wanted]
-    return [_REGISTRY[c]() for c in codes]
+    return codes
+
+
+def all_rules(select: Optional[Iterable[str]] = None) -> List[Rule | ProgramRule]:
+    """Instances of every registered rule (or the selected codes), by code."""
+    return [_REGISTRY[c]() for c in _selected_codes(select)]
+
+
+def file_rules(select: Optional[Iterable[str]] = None) -> List[Rule]:
+    """The per-file rules among the selection."""
+    return [r for r in all_rules(select) if isinstance(r, Rule)]
+
+
+def program_rules(select: Optional[Iterable[str]] = None) -> List[ProgramRule]:
+    """The whole-program rules among the selection."""
+    return [r for r in all_rules(select) if isinstance(r, ProgramRule)]
 
 
 # ----------------------------------------------------------------------
@@ -161,6 +244,14 @@ _LINE_SUPPRESS_RE = re.compile(
 _FILE_SUPPRESS_RE = re.compile(
     r"#\s*ocdlint:\s*disable-file=([A-Za-z0-9_,\s]+?)\s*(?:--.*)?$"
 )
+#: The v2 spelling: ``# ocd: ignore[OCD010, OCD013] -- reason`` (codes
+#: optional — bare ``# ocd: ignore`` silences every rule on the line).
+_LINE_IGNORE_RE = re.compile(
+    r"#\s*ocd:\s*ignore(?:\[([A-Za-z0-9_,\s]+?)\])?\s*(?:--.*)?$"
+)
+_FILE_IGNORE_RE = re.compile(
+    r"#\s*ocd:\s*ignore-file(?:\[([A-Za-z0-9_,\s]+?)\])?\s*(?:--.*)?$"
+)
 
 _ALL_CODES = "*"
 
@@ -171,21 +262,39 @@ def _parse_codes(group: Optional[str]) -> Set[str]:
     return {c.strip().upper() for c in group.split(",") if c.strip()}
 
 
-def _suppressions(lines: Sequence[str]) -> Tuple[Dict[int, Set[str]], Set[str]]:
+def suppressions_for(
+    lines: Sequence[str],
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
     """Per-line and whole-file suppressed codes from magic comments."""
     per_line: Dict[int, Set[str]] = {}
     whole_file: Set[str] = set()
     for i, line in enumerate(lines, start=1):
-        if "ocdlint" not in line:
-            continue
-        file_match = _FILE_SUPPRESS_RE.search(line)
-        if file_match:
-            whole_file |= _parse_codes(file_match.group(1))
-            continue
-        line_match = _LINE_SUPPRESS_RE.search(line)
-        if line_match:
-            per_line.setdefault(i, set()).update(_parse_codes(line_match.group(1)))
+        if "ocdlint" in line:
+            file_match = _FILE_SUPPRESS_RE.search(line)
+            if file_match:
+                whole_file |= _parse_codes(file_match.group(1))
+                continue
+            line_match = _LINE_SUPPRESS_RE.search(line)
+            if line_match:
+                per_line.setdefault(i, set()).update(
+                    _parse_codes(line_match.group(1))
+                )
+                continue
+        if "ocd:" in line:
+            file_match = _FILE_IGNORE_RE.search(line)
+            if file_match:
+                whole_file |= _parse_codes(file_match.group(1))
+                continue
+            line_match = _LINE_IGNORE_RE.search(line)
+            if line_match:
+                per_line.setdefault(i, set()).update(
+                    _parse_codes(line_match.group(1))
+                )
     return per_line, whole_file
+
+
+#: Back-compat alias (pre-v2 internal name).
+_suppressions = suppressions_for
 
 
 def _is_suppressed(
@@ -232,9 +341,9 @@ def run_source(
         package=package_of(path),
         lines=lines,
     )
-    per_line, whole_file = _suppressions(lines)
+    per_line, whole_file = suppressions_for(lines)
     diagnostics: List[Diagnostic] = []
-    for rule in all_rules(select):
+    for rule in file_rules(select):
         if not rule.applies(ctx):
             continue
         for diag in rule.check(ctx):
@@ -244,15 +353,13 @@ def run_source(
 
 
 def run_file(path: str, select: Optional[Iterable[str]] = None) -> List[Diagnostic]:
-    """Lint one file on disk."""
+    """Lint one file on disk (per-file rules only)."""
     source = Path(path).read_text(encoding="utf-8")
     return run_source(source, path=str(path), select=select)
 
 
-def run_paths(
-    paths: Sequence[str], select: Optional[Iterable[str]] = None
-) -> List[Diagnostic]:
-    """Lint files and/or directory trees; returns sorted diagnostics.
+def expand_paths(paths: Sequence[str]) -> List[str]:
+    """Files and/or directory trees -> sorted, de-duplicated file list.
 
     Directories are walked recursively for ``*.py`` files in sorted order
     so output is stable across filesystems.
@@ -266,7 +373,62 @@ def run_paths(
             files.append(str(p))
         else:
             raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(dict.fromkeys(files))
+
+
+def run_program_pass(
+    summaries: Sequence["ModuleSummary"],
+    suppressions: Dict[str, Tuple[Dict[int, Set[str]], Set[str]]],
+    select: Optional[Iterable[str]] = None,
+) -> List[Diagnostic]:
+    """Run the whole-program rules over pre-extracted module summaries.
+
+    ``suppressions`` maps each path to its (per-line, whole-file)
+    suppressed-code sets, so ``# ocd: ignore[...]`` comments silence
+    program diagnostics exactly like per-file ones.
+    """
+    from repro.checks.program import ProgramIndex
+
+    rules = program_rules(select)
+    if not rules or not summaries:
+        return []
+    index = ProgramIndex(list(summaries))
     diagnostics: List[Diagnostic] = []
-    for f in sorted(dict.fromkeys(files)):
-        diagnostics.extend(run_file(f, select=select))
+    for rule in rules:
+        for diag in rule.check_program(index):
+            per_line, whole_file = suppressions.get(diag.path, ({}, set()))
+            if not _is_suppressed(diag, per_line, whole_file):
+                diagnostics.append(diag)
+    return diagnostics
+
+
+def run_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    *,
+    program: bool = True,
+) -> List[Diagnostic]:
+    """Lint files and/or directory trees; returns sorted diagnostics.
+
+    Runs the per-file rules on each file, then — unless ``program`` is
+    false — the whole-program passes (taint, trace contracts,
+    multiprocessing safety) over all of them together.  The cached
+    front end (:mod:`repro.checks.runner`) layers content-hash
+    incrementality and the baseline on top of this; results agree.
+    """
+    from repro.checks.program import summarize_source
+
+    diagnostics: List[Diagnostic] = []
+    summaries = []
+    suppressions: Dict[str, Tuple[Dict[int, Set[str]], Set[str]]] = {}
+    for f in expand_paths(paths):
+        source = Path(f).read_text(encoding="utf-8")
+        diagnostics.extend(run_source(source, path=f, select=select))
+        if program:
+            summary = summarize_source(source, f)
+            if summary is not None:
+                summaries.append(summary)
+                suppressions[f] = suppressions_for(source.splitlines())
+    if program:
+        diagnostics.extend(run_program_pass(summaries, suppressions, select=select))
     return sorted(diagnostics)

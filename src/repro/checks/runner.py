@@ -1,0 +1,121 @@
+"""The cached, baselined front end over the ocdlint rule framework.
+
+:func:`repro.checks.framework.run_paths` is the plain runner: read every
+file, run everything, return findings.  This module layers the two
+workflow features on top without changing results:
+
+* **Incremental cache** — per-file diagnostics and program summaries are
+  cached by content hash (:mod:`repro.checks.cache`), so a warm run over
+  an unchanged tree parses nothing.  The whole-program pass re-runs from
+  summaries every time; it is cross-file and cheap.
+* **Baseline** — accepted pre-existing findings are subtracted from the
+  output (:mod:`repro.checks.baseline`) so new code is held to every
+  rule while legacy debt is paid down incrementally.
+
+``lint()`` is what both the CLI and CI call; it returns a
+:class:`LintResult` so callers can render text, JSON, SARIF, or GitHub
+annotations from one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checks.baseline import Baseline, apply_baseline, load_baseline
+from repro.checks.cache import DEFAULT_CACHE_PATH, LintCache, content_key
+from repro.checks.framework import (
+    Diagnostic,
+    expand_paths,
+    run_program_pass,
+    run_source,
+    suppressions_for,
+)
+from repro.checks.program import ModuleSummary, summarize_source
+
+__all__ = ["LintResult", "lint"]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, pre-baseline and post."""
+
+    #: Findings the run must report (baseline already subtracted).
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Every unsuppressed finding, before baseline subtraction — what
+    #: ``--write-baseline`` records.
+    all_diagnostics: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    baseline_matched: int = 0
+    #: Baseline fingerprints no current finding matches (shrink hints).
+    baseline_stale: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    *,
+    program: bool = True,
+    cache_path: Optional[str] = DEFAULT_CACHE_PATH,
+    baseline_path: Optional[str] = None,
+) -> LintResult:
+    """Lint ``paths`` with caching and an optional baseline.
+
+    ``cache_path=None`` disables the cache entirely (the ``--no-cache``
+    escape hatch); ``baseline_path=None`` reports every finding.
+    Results are identical to :func:`~repro.checks.framework.run_paths`
+    modulo the baseline subtraction — the cache is an optimization, not
+    a semantics change, and the fixture tests assert exactly that.
+    """
+    select_key = ",".join(sorted(c.strip().upper() for c in select)) if select else "*"
+    cache = LintCache(cache_path)
+    files = expand_paths(paths)
+
+    diagnostics: List[Diagnostic] = []
+    summaries: List[ModuleSummary] = []
+    suppressions: Dict[str, Tuple[Dict[int, set], set]] = {}
+
+    for f in files:
+        raw = Path(f).read_bytes()
+        key = content_key(raw, select_key)
+        cached = cache.get(f, key)
+        if cached is not None:
+            file_diags, summary, supp = cached
+        else:
+            source = raw.decode("utf-8")
+            file_diags = run_source(source, path=f, select=select)
+            summary = summarize_source(source, f)
+            supp = suppressions_for(source.splitlines())
+            cache.put(f, key, file_diags, summary, supp)
+        diagnostics.extend(file_diags)
+        if summary is not None:
+            summaries.append(summary)
+            suppressions[f] = supp
+
+    if program:
+        diagnostics.extend(
+            run_program_pass(summaries, suppressions, select=select)
+        )
+
+    cache.prune(files)
+    cache.save()
+
+    all_diags = sorted(diagnostics)
+    result = LintResult(
+        all_diagnostics=all_diags,
+        files_checked=len(files),
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+    )
+    if baseline_path is not None:
+        baseline: Baseline = load_baseline(baseline_path)
+        new, matched, stale = apply_baseline(all_diags, baseline)
+        result.diagnostics = new
+        result.baseline_matched = matched
+        result.baseline_stale = stale
+    else:
+        result.diagnostics = list(all_diags)
+    return result

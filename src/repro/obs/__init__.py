@@ -25,13 +25,16 @@ The observability layer for every simulation loop in the repository
 from repro.obs.convert import convert_telemetry, upgrade_record
 from repro.obs.events import (
     EVENT_KINDS,
+    EVENT_SCHEMAS,
     SCHEMA_VERSION,
+    EventSchema,
     EventWriter,
     dump_event,
     is_event,
     iter_events,
     make_event,
     read_events,
+    validate_event,
 )
 from repro.obs.log import enable_console_logging, get_logger
 from repro.obs.metrics import (
@@ -60,6 +63,8 @@ from repro.obs.tracer import (
 __all__ = [
     "Counter",
     "EVENT_KINDS",
+    "EVENT_SCHEMAS",
+    "EventSchema",
     "EventWriter",
     "Gauge",
     "Histogram",
@@ -86,4 +91,5 @@ __all__ = [
     "render_report",
     "render_trace_file",
     "upgrade_record",
+    "validate_event",
 ]

@@ -32,17 +32,21 @@ Event kinds
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterator, List, Mapping, Optional, TextIO
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, TextIO, Tuple
 
 __all__ = [
     "SCHEMA_VERSION",
     "EVENT_KINDS",
+    "EVENT_SCHEMAS",
+    "EventSchema",
     "EventWriter",
     "dump_event",
     "is_event",
     "iter_events",
     "make_event",
     "read_events",
+    "validate_event",
 ]
 
 #: Bump when a field changes meaning or is removed; readers dispatch on
@@ -60,6 +64,179 @@ EVENT_KINDS = (
 )
 
 JsonDict = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """The field contract of one event kind.
+
+    ``required`` fields appear in every event of the kind; ``optional``
+    fields may appear (sink-stamped ``run`` indices, engine-specific
+    extras like ``facts_learned``).  Types name the JSON shape each
+    field serializes as — ``"str"``, ``"int"``, ``"float"``, ``"bool"``,
+    ``"list"``, ``"dict"`` — with ``"float"`` accepting ints (an
+    ``arc_util`` of exactly 0 serializes as ``0``).
+
+    The registry below is the single source of truth for three
+    consumers: :func:`validate_event` (runtime spot checks and tests),
+    the static trace-contract rule OCD013 in :mod:`repro.checks` (every
+    emission site is cross-referenced at lint time), and the schema
+    table in ``docs/OBSERVABILITY.md``.
+    """
+
+    kind: str
+    required: Mapping[str, str] = field(default_factory=dict)
+    optional: Mapping[str, str] = field(default_factory=dict)
+
+    def field_type(self, name: str) -> Optional[str]:
+        """The declared type of a field, or None when unknown."""
+        return self.required.get(name) or self.optional.get(name)
+
+
+#: Fields every event may carry: the envelope plus the per-run index
+#: sinks stamp on run-scoped events (see ``_RunCountingTracer``).
+ENVELOPE_FIELDS: Dict[str, str] = {
+    "schema_version": "int",
+    "event": "str",
+    "run": "int",
+}
+
+#: kind -> field contract.  Extend here *first* when an engine grows a
+#: new field; OCD013 fails any emission site that drifts from this.
+EVENT_SCHEMAS: Dict[str, EventSchema] = {
+    schema.kind: schema
+    for schema in (
+        EventSchema(
+            kind="trace_header",
+            required={"seed": "int"},
+            optional={
+                "figure": "str",
+                "kind": "str",
+                "index": "int",
+                "params": "dict",
+                "family": "str",
+                "size": "int",
+                "tokens": "int",
+                "scenario": "str",
+                "heuristic": "str",
+            },
+        ),
+        EventSchema(
+            kind="run_start",
+            required={
+                "engine": "str",
+                "heuristic": "str",
+                "problem": "str",
+                "n": "int",
+                "tokens": "int",
+                "arcs": "int",
+                "max_steps": "int",
+                "total_deficit": "int",
+                "instance": "dict",
+            },
+        ),
+        EventSchema(
+            kind="step",
+            required={
+                "step": "int",
+                "sends": "int",
+                "moves": "int",
+                "gained": "int",
+                "deficit": "int",
+                "deficit_by_vertex": "list",
+                "holder_hist": "list",
+                "arc_util": "float",
+                "transfers": "list",
+            },
+            optional={
+                "facts_learned": "int",
+                "arcs_up": "int",
+            },
+        ),
+        EventSchema(
+            kind="stall",
+            required={"step": "int", "consecutive": "int"},
+            optional={"terminal": "bool"},
+        ),
+        EventSchema(
+            kind="run_end",
+            required={"success": "bool", "makespan": "int", "bandwidth": "int"},
+            optional={"knowledge_cost": "int"},
+        ),
+        EventSchema(
+            kind="sweep_point",
+            required={
+                "figure": "str",
+                "kind": "str",
+                "index": "int",
+                "seed": "int",
+                "key": "str",
+                "cache": "str",
+                "wall_s": "float",
+                "worker": "int",
+                "retries": "int",
+                "ok": "bool",
+            },
+            optional={
+                "error": "str",
+                "traceback": "str",
+                "stats": "dict",
+            },
+        ),
+    )
+}
+
+_TYPE_CHECKS: Dict[str, Tuple[type, ...]] = {
+    "str": (str,),
+    "int": (int,),
+    "float": (float, int),
+    "bool": (bool,),
+    "list": (list, tuple),
+    "dict": (dict,),
+}
+
+
+def _type_ok(declared: str, value: Any) -> bool:
+    if declared in ("int", "float") and isinstance(value, bool):
+        return False
+    return isinstance(value, _TYPE_CHECKS[declared])
+
+
+def validate_event(event: Mapping[str, Any]) -> List[str]:
+    """Check one event against :data:`EVENT_SCHEMAS`; return problems.
+
+    An empty list means the event conforms: known kind, all required
+    fields present, no undeclared fields, every declared field of the
+    declared type.  Off the hot path by design — the engines' emission
+    sites are verified *statically* by OCD013; this function backs
+    tests, fixtures, and ad-hoc trace audits.
+    """
+    if not is_event(event):
+        return ["record lacks the schema envelope (schema_version/event)"]
+    kind = event["event"]
+    schema = EVENT_SCHEMAS.get(kind)
+    if schema is None:
+        return [f"unknown event kind {kind!r}"]
+    problems: List[str] = []
+    for name, declared in sorted(schema.required.items()):
+        if name not in event:
+            problems.append(f"{kind}: missing required field {name!r}")
+    for name in sorted(event):
+        if name in ENVELOPE_FIELDS:
+            if not _type_ok(ENVELOPE_FIELDS[name], event[name]):
+                problems.append(
+                    f"{kind}: envelope field {name!r} is not "
+                    f"{ENVELOPE_FIELDS[name]}: {event[name]!r}"
+                )
+            continue
+        declared = schema.field_type(name)
+        if declared is None:
+            problems.append(f"{kind}: undeclared field {name!r}")
+        elif not _type_ok(declared, event[name]):
+            problems.append(
+                f"{kind}: field {name!r} is not {declared}: {event[name]!r}"
+            )
+    return problems
 
 
 def make_event(kind: str, fields: Mapping[str, Any]) -> JsonDict:

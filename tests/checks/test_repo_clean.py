@@ -87,12 +87,13 @@ class TestCliContract:
         bad = tmp_path / "src" / "repro" / "heuristics" / "bad.py"
         bad.parent.mkdir(parents=True)
         bad.write_text("import random\nx = random.random()\n")
-        rc = main(["--format", "json", str(bad)])
+        rc = main(["--format", "json", "--no-cache", str(bad)])
         out = capsys.readouterr().out
         assert rc == 1
         payload = json.loads(out)
-        assert payload[0]["code"] == "OCD001"
-        assert payload[0]["line"] == 2
+        assert payload["findings"][0]["code"] == "OCD001"
+        assert payload["findings"][0]["line"] == 2
+        assert payload["summary"]["count"] == 1
 
 
 @pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")

@@ -1,0 +1,360 @@
+"""The ocdlint v2 workflow layer: cache, baseline, output formats, CLI.
+
+The invariant under test throughout: the cache and the baseline are
+*workflow* features — they must never change which findings exist, only
+how fast they are computed and which of them the run reports.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from typing import List
+
+import pytest
+
+from repro.checks.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.cache import LintCache, content_key
+from repro.checks.framework import Diagnostic, run_paths
+from repro.checks.output import (
+    render_github,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.checks.runner import lint
+
+DIRTY = textwrap.dedent(
+    """
+    import random
+
+
+    def _draw():
+        return random.random()
+
+
+    def pick(xs):
+        return xs[int(_draw() * len(xs))]
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """
+    def pick(rng, xs):
+        return xs[rng.randrange(len(xs))]
+    """
+)
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "heuristics"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(DIRTY, encoding="utf-8")
+    (pkg / "good.py").write_text(CLEAN, encoding="utf-8")
+    return tmp_path
+
+
+def _diags(tmp_path) -> List[Diagnostic]:
+    return run_paths([str(tmp_path / "src")])
+
+
+# ======================================================================
+# Incremental cache
+# ======================================================================
+class TestCache:
+    def test_cold_then_warm_same_findings(self, dirty_tree):
+        cache_file = str(dirty_tree / "cache.json")
+        cold = lint([str(dirty_tree / "src")], cache_path=cache_file)
+        warm = lint([str(dirty_tree / "src")], cache_path=cache_file)
+        assert cold.diagnostics == warm.diagnostics
+        assert cold.cache_misses == 2 and cold.cache_hits == 0
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+
+    def test_cache_agrees_with_uncached_run(self, dirty_tree):
+        cache_file = str(dirty_tree / "cache.json")
+        lint([str(dirty_tree / "src")], cache_path=cache_file)  # warm it
+        cached = lint([str(dirty_tree / "src")], cache_path=cache_file)
+        uncached = lint([str(dirty_tree / "src")], cache_path=None)
+        assert cached.diagnostics == uncached.diagnostics
+        assert uncached.cache_hits == 0
+
+    def test_edit_invalidates_only_that_file(self, dirty_tree):
+        cache_file = str(dirty_tree / "cache.json")
+        lint([str(dirty_tree / "src")], cache_path=cache_file)
+        bad = dirty_tree / "src" / "repro" / "heuristics" / "bad.py"
+        bad.write_text(CLEAN, encoding="utf-8")
+        result = lint([str(dirty_tree / "src")], cache_path=cache_file)
+        assert result.cache_hits == 1 and result.cache_misses == 1
+        assert result.diagnostics == []
+
+    def test_program_findings_survive_fully_cached_runs(self, dirty_tree):
+        # The cross-file pass re-runs from cached summaries: a taint
+        # chain must still be reported when every file is a cache hit.
+        cache_file = str(dirty_tree / "cache.json")
+        lint([str(dirty_tree / "src")], cache_path=cache_file)
+        warm = lint([str(dirty_tree / "src")], cache_path=cache_file)
+        assert warm.cache_hits == 2
+        assert any(d.code == "OCD010" for d in warm.diagnostics)
+
+    def test_suppressions_survive_the_cache(self, dirty_tree):
+        bad = dirty_tree / "src" / "repro" / "heuristics" / "bad.py"
+        bad.write_text(
+            DIRTY.replace(
+                "return xs[int(_draw() * len(xs))]",
+                "return xs[int(_draw() * len(xs))]  "
+                "# ocd: ignore[OCD010] -- fixture",
+            ),
+            encoding="utf-8",
+        )
+        cache_file = str(dirty_tree / "cache.json")
+        cold = lint([str(dirty_tree / "src")], cache_path=cache_file)
+        warm = lint([str(dirty_tree / "src")], cache_path=cache_file)
+        assert [d.code for d in cold.diagnostics] == ["OCD001"]
+        assert warm.diagnostics == cold.diagnostics
+
+    def test_corrupt_cache_file_is_ignored(self, dirty_tree):
+        cache_file = dirty_tree / "cache.json"
+        cache_file.write_text("{not json", encoding="utf-8")
+        result = lint([str(dirty_tree / "src")], cache_path=str(cache_file))
+        assert result.cache_misses == 2
+        assert any(d.code == "OCD010" for d in result.diagnostics)
+        # And the save path repaired the file for the next run.
+        assert json.loads(cache_file.read_text(encoding="utf-8"))["version"] == 1
+
+    def test_select_key_partitions_the_cache(self, dirty_tree):
+        cache_file = str(dirty_tree / "cache.json")
+        lint([str(dirty_tree / "src")], select=["OCD001"], cache_path=cache_file)
+        full = lint([str(dirty_tree / "src")], cache_path=cache_file)
+        # Different selection -> different key -> no stale reuse.
+        assert full.cache_misses == 2
+        assert {d.code for d in full.diagnostics} == {"OCD001", "OCD010"}
+
+    def test_prune_drops_departed_paths(self, dirty_tree):
+        cache_file = str(dirty_tree / "cache.json")
+        lint([str(dirty_tree / "src")], cache_path=cache_file)
+        (dirty_tree / "src" / "repro" / "heuristics" / "good.py").unlink()
+        lint([str(dirty_tree / "src")], cache_path=cache_file)
+        data = json.loads((dirty_tree / "cache.json").read_text(encoding="utf-8"))
+        assert all("good.py" not in p for p in data["entries"])
+
+
+class TestContentKey:
+    def test_key_changes_with_bytes_and_selection(self):
+        base = content_key(b"x = 1\n", "*")
+        assert content_key(b"x = 2\n", "*") != base
+        assert content_key(b"x = 1\n", "OCD001") != base
+        assert content_key(b"x = 1\n", "*") == base
+
+
+# ======================================================================
+# Baseline
+# ======================================================================
+class TestBaseline:
+    def test_round_trip_absorbs_existing_findings(self, dirty_tree, tmp_path):
+        bl = tmp_path / "baseline.json"
+        diags = _diags(dirty_tree)
+        assert diags  # fixture is dirty
+        write_baseline(str(bl), diags)
+        result = lint(
+            [str(dirty_tree / "src")], cache_path=None, baseline_path=str(bl)
+        )
+        assert result.diagnostics == []
+        assert result.baseline_matched == len(diags)
+        assert result.baseline_stale == []
+
+    def test_new_finding_still_reported(self, dirty_tree, tmp_path):
+        bl = tmp_path / "baseline.json"
+        write_baseline(str(bl), _diags(dirty_tree))
+        good = dirty_tree / "src" / "repro" / "heuristics" / "good.py"
+        good.write_text(
+            CLEAN + "\nimport time\n\n\ndef stamp():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        result = lint(
+            [str(dirty_tree / "src")], cache_path=None, baseline_path=str(bl)
+        )
+        assert [d.code for d in result.diagnostics] == ["OCD004"]
+
+    def test_fixed_finding_reports_stale_entry(self, dirty_tree, tmp_path):
+        bl = tmp_path / "baseline.json"
+        write_baseline(str(bl), _diags(dirty_tree))
+        bad = dirty_tree / "src" / "repro" / "heuristics" / "bad.py"
+        bad.write_text(CLEAN, encoding="utf-8")
+        result = lint(
+            [str(dirty_tree / "src")], cache_path=None, baseline_path=str(bl)
+        )
+        assert result.diagnostics == []
+        assert result.baseline_stale  # shrink hint, not an error
+
+    def test_fingerprint_survives_line_drift(self):
+        a = Diagnostic(path="p.py", line=5, col=0, code="OCD001", message="m")
+        b = Diagnostic(path="p.py", line=50, col=4, code="OCD001", message="m")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_count_overflow_surfaces_extras(self):
+        d = Diagnostic(path="p.py", line=1, col=0, code="OCD001", message="m")
+        d2 = Diagnostic(path="p.py", line=9, col=0, code="OCD001", message="m")
+        from repro.checks.baseline import Baseline
+
+        baseline = Baseline(entries={fingerprint(d): 1})
+        new, matched, stale = apply_baseline([d, d2], baseline)
+        assert matched == 1 and len(new) == 1 and stale == []
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")).entries == {}
+
+    def test_version_skew_rejected(self, tmp_path):
+        bl = tmp_path / "baseline.json"
+        bl.write_text('{"version": 99, "entries": {}}', encoding="utf-8")
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            load_baseline(str(bl))
+
+
+# ======================================================================
+# Output formats
+# ======================================================================
+_SAMPLE = [
+    Diagnostic(
+        path="src/repro/sim/engine.py",
+        line=10,
+        col=4,
+        code="OCD013",
+        message="[trace-contract] step emission carries undeclared field 'x'",
+    ),
+    Diagnostic(
+        path="src/repro/heuristics/base.py",
+        line=3,
+        col=0,
+        code="OCD010",
+        message="[rng-call-chain] pick() reaches unseeded randomness",
+    ),
+]
+
+
+class TestOutputs:
+    def test_text_is_sorted_path_line_col(self):
+        text = render_text(sorted(_SAMPLE))
+        first, second = text.splitlines()
+        assert first.startswith("src/repro/heuristics/base.py:3:0: OCD010")
+        assert second.startswith("src/repro/sim/engine.py:10:4: OCD013")
+
+    def test_json_shape(self):
+        doc = json.loads(render_json(_SAMPLE, files_checked=7, cache_hits=5))
+        assert doc["summary"]["count"] == 2
+        assert doc["summary"]["files_checked"] == 7
+        assert doc["summary"]["cache_hits"] == 5
+        assert doc["findings"][0]["code"] == "OCD010"
+
+    def test_sarif_is_valid_2_1_0(self):
+        doc = json.loads(render_sarif(_SAMPLE))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        # Full rule table, including rules with no findings this run.
+        assert {"OCD001", "OCD010", "OCD013", "OCD014"} <= rule_ids
+        assert len(run["results"]) == 2
+        result = run["results"][0]
+        assert result["ruleId"] == "OCD010"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 3, "startColumn": 1}  # 1-based col
+        # ruleIndex must agree with the rule table.
+        idx = result["ruleIndex"]
+        assert run["tool"]["driver"]["rules"][idx]["id"] == "OCD010"
+
+    def test_sarif_rules_carry_invariants(self):
+        doc = json.loads(render_sarif([]))
+        rules = {r["id"]: r for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert rules["OCD010"]["fullDescription"]["text"]
+        assert rules["OCD014"]["properties"]["kind"] == "program"
+        assert rules["OCD001"]["properties"]["kind"] == "file"
+
+    def test_github_annotations(self):
+        lines = render_github(_SAMPLE).splitlines()
+        assert lines[0].startswith("::error file=src/repro/heuristics/base.py,")
+        assert "line=3,col=1,title=OCD010::" in lines[0]
+
+    def test_github_escapes_newlines_and_percent(self):
+        diag = Diagnostic(
+            path="p.py", line=1, col=0, code="OCD001", message="a\nb%c"
+        )
+        out = render_github([diag])
+        assert "\n" not in out
+        assert "a%0Ab%25c" in out
+
+    def test_deterministic(self):
+        assert render_sarif(_SAMPLE) == render_sarif(list(reversed(_SAMPLE)))
+        assert render_json(_SAMPLE) == render_json(list(reversed(_SAMPLE)))
+
+
+# ======================================================================
+# CLI flags
+# ======================================================================
+class TestCliWorkflow:
+    def _tree(self, tmp_path) -> str:
+        pkg = tmp_path / "src" / "repro" / "heuristics"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(DIRTY, encoding="utf-8")
+        return str(tmp_path / "src")
+
+    def test_sarif_format(self, tmp_path, capsys):
+        from repro.checks.cli import main
+
+        root = self._tree(tmp_path)
+        rc = main([root, "--no-cache", "--format", "sarif"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert {r["ruleId"] for r in doc["runs"][0]["results"]} == {
+            "OCD001",
+            "OCD010",
+        }
+
+    def test_github_format(self, tmp_path, capsys):
+        from repro.checks.cli import main
+
+        root = self._tree(tmp_path)
+        rc = main([root, "--no-cache", "--format", "github"])
+        assert rc == 1
+        assert capsys.readouterr().out.startswith("::error file=")
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        from repro.checks.cli import main
+
+        root = self._tree(tmp_path)
+        bl = str(tmp_path / "baseline.json")
+        assert main([root, "--no-cache", "--baseline", bl, "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main([root, "--no-cache", "--baseline", bl]) == 0
+
+    def test_write_baseline_requires_baseline_path(self, capsys):
+        from repro.checks.cli import main
+
+        assert main(["--write-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_cache_flag_round_trip(self, tmp_path, capsys):
+        from repro.checks.cli import main
+
+        root = self._tree(tmp_path)
+        cache = str(tmp_path / "lint-cache.json")
+        assert main([root, "--cache", cache, "--format", "json"]) == 1
+        first = json.loads(capsys.readouterr().out)
+        assert first["summary"]["cache_misses"] == 1
+        assert main([root, "--cache", cache, "--format", "json"]) == 1
+        second = json.loads(capsys.readouterr().out)
+        assert second["summary"]["cache_hits"] == 1
+        assert first["findings"] == second["findings"]
+
+    def test_no_program_skips_chain_rules(self, tmp_path, capsys):
+        from repro.checks.cli import main
+
+        root = self._tree(tmp_path)
+        assert main([root, "--no-cache", "--no-program", "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert {f["code"] for f in doc["findings"]} == {"OCD001"}

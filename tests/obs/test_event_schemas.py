@@ -1,0 +1,148 @@
+"""The versioned field registry (EVENT_SCHEMAS) and validate_event.
+
+Two layers of regression protection for the trace contract:
+
+* unit tests for :func:`repro.obs.validate_event` against hand-built
+  events, and
+* **runtime cross-checks** — drive every engine (Engine, LocalEngine via
+  ``run_local``, DynamicEngine via ``run_dynamic``) and the sweep
+  executor, then validate every event they actually emit.  This pins
+  the registry to reality from the dynamic side exactly as the static
+  OCD013 pass pins every emission site from the source side; a field
+  added to an engine without a schema entry fails both.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.problem import Problem
+from repro.extensions.dynamic import constant_conditions, run_dynamic
+from repro.heuristics import make_heuristic, standard_heuristics
+from repro.locd.algorithms import LocalRarest
+from repro.locd.runner import run_local
+from repro.obs import (
+    EVENT_KINDS,
+    EVENT_SCHEMAS,
+    RecordingTracer,
+    activated,
+    make_event,
+    validate_event,
+)
+from repro.sim.engine import Engine, StallError
+from repro.topology import random_graph
+from repro.workloads import single_file
+
+
+def _problem(seed: int = 3, n: int = 10, tokens: int = 6) -> Problem:
+    return single_file(random_graph(n, random.Random(seed)), file_tokens=tokens)
+
+
+class TestRegistryShape:
+    def test_every_kind_has_a_schema(self):
+        assert set(EVENT_SCHEMAS) == set(EVENT_KINDS)
+
+    def test_declared_types_are_known(self):
+        from repro.obs.events import _TYPE_CHECKS
+
+        for schema in EVENT_SCHEMAS.values():
+            for name, declared in {**schema.required, **schema.optional}.items():
+                assert declared in _TYPE_CHECKS, (schema.kind, name, declared)
+
+    def test_required_and_optional_disjoint(self):
+        for schema in EVENT_SCHEMAS.values():
+            assert not set(schema.required) & set(schema.optional), schema.kind
+
+
+class TestValidateEvent:
+    def test_conforming_event_passes(self):
+        event = make_event("stall", {"step": 3, "consecutive": 2})
+        assert validate_event(event) == []
+
+    def test_missing_required_reported(self):
+        event = make_event("stall", {"step": 3})
+        assert any("consecutive" in p for p in validate_event(event))
+
+    def test_undeclared_field_reported(self):
+        event = make_event("stall", {"step": 3, "consecutive": 2, "zzz": 1})
+        assert any("undeclared field 'zzz'" in p for p in validate_event(event))
+
+    def test_wrong_type_reported(self):
+        event = make_event("stall", {"step": "three", "consecutive": 2})
+        assert any("'step'" in p for p in validate_event(event))
+
+    def test_bool_is_not_an_int(self):
+        event = make_event("stall", {"step": True, "consecutive": 2})
+        assert any("'step'" in p for p in validate_event(event))
+
+    def test_float_field_accepts_int(self):
+        fields = {
+            "figure": "f", "kind": "k", "index": 0, "seed": 1, "key": "a",
+            "cache": "miss", "wall_s": 0, "worker": 0, "retries": 0,
+            "ok": True,
+        }
+        assert validate_event(make_event("sweep_point", fields)) == []
+
+    def test_unknown_kind_reported(self):
+        assert validate_event({"schema_version": 1, "event": "nope"}) == [
+            "unknown event kind 'nope'"
+        ]
+
+    def test_non_event_reported(self):
+        assert validate_event({"x": 1}) != []
+
+
+class TestRuntimeConformance:
+    """Every event the engines actually emit conforms to the registry."""
+
+    def _validate_all(self, tracer: RecordingTracer) -> None:
+        assert tracer.events, "fixture emitted nothing"
+        for event in tracer.events:
+            assert validate_event(event) == [], (event["event"], event)
+
+    def test_engine_all_heuristics(self):
+        tracer = RecordingTracer()
+        with activated(tracer):
+            for heuristic in standard_heuristics():
+                Engine(_problem(), heuristic).run()
+        kinds = {e["event"] for e in tracer.events}
+        assert {"run_start", "step", "run_end"} <= kinds
+        self._validate_all(tracer)
+
+    def test_engine_stall_path(self):
+        tracer = RecordingTracer()
+        with activated(tracer):
+            p = Problem.build(3, 1, [(0, 1, 1), (2, 1, 1)], {0: [0]}, {2: [0]})
+            with pytest.raises(StallError):
+                Engine(p, make_heuristic("round_robin")).run()
+        assert {"stall"} <= {e["event"] for e in tracer.events}
+        self._validate_all(tracer)
+
+    def test_local_engine(self):
+        tracer = RecordingTracer()
+        with activated(tracer):
+            run_local(_problem(5), LocalRarest())
+        self._validate_all(tracer)
+
+    def test_dynamic_engine(self):
+        tracer = RecordingTracer()
+        with activated(tracer):
+            run_dynamic(
+                constant_conditions(_problem(7)), make_heuristic("local"), seed=0
+            )
+        self._validate_all(tracer)
+
+    def test_sweep_telemetry(self, tmp_path):
+        from repro.obs import read_events
+
+        from tests.experiments.test_sweep import _specs
+        from repro.experiments.sweep import Executor, ExecutorConfig
+
+        path = tmp_path / "telemetry.jsonl"
+        Executor(ExecutorConfig(telemetry_path=str(path))).run(_specs([3, 4]))
+        events = read_events(str(path))
+        assert events
+        for event in events:
+            assert validate_event(event) == [], event
