@@ -1,17 +1,28 @@
-"""Engine perf harness: incremental kernel vs. frozen reference loop.
+"""Engine perf harness: paired old-vs-new engine runs per case.
 
 Measures moves/second (schedule bandwidth over wall time, best-of-N) for
-the current :class:`repro.sim.Engine` and for the frozen pre-kernel
-implementation in :mod:`repro.sim.reference` on the same workloads as
-``benchmarks/test_engine_throughput.py``, and records both in
-``BENCH_engine.json`` at the repo root.
+pairs of engine implementations on identical workloads and records both
+sides in ``BENCH_engine.json`` at the repo root.  Each case names its
+own pair:
+
+* the original cases pit the incremental :class:`repro.sim.SimState`
+  kernel against the frozen pre-kernel loop in
+  :mod:`repro.sim.reference`;
+* the ``round_robin/n=1000`` and ``round_robin/n=10000`` cases pit the
+  vectorized batch kernel (``kernel="batch"``) against the scalar
+  ``SimState`` kernel on workloads large enough for array ops to pay.
+
+Instances are seeded from the *case label* (``bench_rng`` on
+``engine_perf/<label>``), never from the engine choice, so both sides of
+every pair — and any ``--kernel`` override — run the exact same
+workload.  Both sides' schedules are asserted identical before any
+number is recorded.
 
 Because both implementations are timed in the same process on the same
 machine, their *ratio* (the speedup) is machine-independent enough to
 gate in CI: ``--check`` re-measures and fails when any case's speedup
 drops more than 25% below the committed baseline — i.e. someone has
-slowed the incremental path down relative to the known-equivalent
-reference.
+slowed the new path down relative to the known-equivalent old one.
 
 ``--trace-overhead`` gates the observability layer instead: it times
 the engine on its default disabled-tracing path against an explicitly
@@ -25,6 +36,8 @@ Usage::
 
     PYTHONPATH=src python benchmarks/engine_perf.py            # rewrite baseline
     PYTHONPATH=src python benchmarks/engine_perf.py --check    # CI regression gate
+    PYTHONPATH=src python benchmarks/engine_perf.py --check --cases round_robin
+    PYTHONPATH=src python benchmarks/engine_perf.py --kernel batch
     PYTHONPATH=src python benchmarks/engine_perf.py --trace-overhead
 """
 
@@ -34,16 +47,19 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from conftest import bench_rng  # noqa: E402
 
+from repro.core.problem import Problem  # noqa: E402
 from repro.heuristics import HEURISTIC_FACTORIES  # noqa: E402
 from repro.obs import NullTracer, RecordingTracer  # noqa: E402
 from repro.sim import RunResult, run_heuristic  # noqa: E402
+from repro.sim.batch import HAVE_NUMPY  # noqa: E402
 from repro.sim.reference import (  # noqa: E402
     make_reference_heuristic,
     reference_run_heuristic,
@@ -56,17 +72,101 @@ BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 #: The committed speedup may shrink this much before --check fails.
 REGRESSION_TOLERANCE = 0.75
 
+#: Floor factor for batch-kernel cases: their fast side finishes in
+#: fractions of a second, so the measured ratio is noisier (allocator
+#: and cache state move it by 2-3x more than the reference pairs).
+BATCH_REGRESSION_TOLERANCE = 0.5
+
 #: Max slowdown --trace-overhead tolerates for the disabled-tracing path.
 TRACE_OVERHEAD_TOLERANCE = 0.02
 
-# Same workloads as benchmarks/test_engine_throughput.py.
-CASES: Dict[str, Tuple[str, str, int, int]] = {
-    # case label -> (heuristic, bench_rng label, n vertices, file tokens)
-    "local/n=50": ("local", "engine_throughput/local_rarest", 50, 50),
-    "local/n=100": ("local", "engine_throughput/local_rarest", 100, 50),
-    "local/n=200": ("local", "engine_throughput/local_rarest", 200, 50),
-    "random/n=150": ("random", "engine_throughput/random", 150, 60),
+#: Engine sides a case may pit against each other: the frozen pre-kernel
+#: oracle, or any engine kernel name accepted by ``run_heuristic``.
+ENGINE_SIDES = ("reference", "state", "batch")
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One paired workload: ``new`` is gated against ``old``."""
+
+    heuristic: str
+    n: int
+    file_tokens: int
+    old: str = "reference"
+    new: str = "state"
+
+    def needs_numpy(self) -> bool:
+        return "batch" in (self.old, self.new)
+
+    @property
+    def tolerance(self) -> float:
+        if self.needs_numpy():
+            return BATCH_REGRESSION_TOLERANCE
+        return REGRESSION_TOLERANCE
+
+
+CASES: Dict[str, BenchCase] = {
+    # Incremental SimState kernel vs the frozen pre-kernel reference.
+    "local/n=50": BenchCase("local", 50, 50),
+    "local/n=100": BenchCase("local", 100, 50),
+    "local/n=200": BenchCase("local", 200, 50),
+    "random/n=150": BenchCase("random", 150, 60),
+    # Vectorized batch kernel vs the scalar SimState kernel.  Round-robin
+    # is the vector-path client; at these sizes the per-arc Python lap
+    # dominates the scalar run.
+    "round_robin/n=1000": BenchCase("round_robin", 1000, 50, "state", "batch"),
+    "round_robin/n=10000": BenchCase(
+        "round_robin", 10000, 50, "state", "batch"
+    ),
 }
+
+
+def case_problem(label: str, case: BenchCase) -> Problem:
+    """The case's workload, seeded from its label only.
+
+    Engine/kernel choice never feeds the seed, so every side of a pair
+    (and any ``--kernel`` override) simulates the identical instance.
+    """
+    return single_file(
+        random_graph(case.n, bench_rng(f"engine_perf/{label}")),
+        file_tokens=case.file_tokens,
+    )
+
+
+def side_runner(
+    side: str, problem: Problem, heuristic: str
+) -> Callable[[], RunResult]:
+    if side == "reference":
+        return lambda: reference_run_heuristic(
+            problem, make_reference_heuristic(heuristic), seed=1
+        )
+    return lambda: run_heuristic(
+        problem, HEURISTIC_FACTORIES[heuristic](), seed=1, kernel=side
+    )
+
+
+def select_cases(
+    case_filter: Optional[str],
+) -> Dict[str, BenchCase]:
+    if case_filter in CASES:  # exact label beats substring ("n=1000"
+        # is a substring of "n=10000", so exact selection must win)
+        selected = {case_filter: CASES[case_filter]}
+    else:
+        selected = {
+            label: case
+            for label, case in CASES.items()
+            if case_filter is None or case_filter in label
+        }
+    if not selected:
+        raise SystemExit(f"no benchmark case matches {case_filter!r}")
+    skipped = [
+        label for label, case in selected.items()
+        if case.needs_numpy() and not HAVE_NUMPY
+    ]
+    for label in skipped:
+        print(f"{label}: skipped (numpy unavailable)")
+        del selected[label]
+    return selected
 
 
 def _best_time(fn: Callable[[], RunResult], repeats: int) -> Tuple[float, RunResult]:
@@ -80,68 +180,84 @@ def _best_time(fn: Callable[[], RunResult], repeats: int) -> Tuple[float, RunRes
     return best, result
 
 
-def measure(repeats: int) -> Dict[str, Dict[str, float]]:
-    cases: Dict[str, Dict[str, float]] = {}
-    for label, (name, rng_label, n, file_tokens) in CASES.items():
-        problem = single_file(
-            random_graph(n, bench_rng(rng_label)), file_tokens=file_tokens
-        )
+def measure(
+    repeats: int,
+    case_filter: Optional[str] = None,
+    kernel_override: Optional[str] = None,
+) -> Dict[str, Dict[str, object]]:
+    cases: Dict[str, Dict[str, object]] = {}
+    for label, case in select_cases(case_filter).items():
+        new_side = case.new
+        if kernel_override is not None and case.new != "reference":
+            new_side = kernel_override
+        problem = case_problem(label, case)
         t_new, new = _best_time(
-            lambda: run_heuristic(problem, HEURISTIC_FACTORIES[name](), seed=1),
-            repeats,
+            side_runner(new_side, problem, case.heuristic), repeats
         )
         t_old, old = _best_time(
-            lambda: reference_run_heuristic(
-                problem, make_reference_heuristic(name), seed=1
-            ),
-            repeats,
+            side_runner(case.old, problem, case.heuristic), repeats
         )
-        if old.schedule.bandwidth != new.schedule.bandwidth:
+        if old.schedule != new.schedule:
             raise AssertionError(
-                f"{label}: reference and incremental engines disagree "
+                f"{label}: {case.old} and {new_side} engines disagree "
                 f"({old.schedule.bandwidth} vs {new.schedule.bandwidth} moves)"
             )
         moves = new.schedule.bandwidth
         cases[label] = {
             "moves": moves,
             "timesteps": new.schedule.makespan,
-            "reference_moves_per_sec": round(moves / t_old),
-            "incremental_moves_per_sec": round(moves / t_new),
+            "old_engine": case.old,
+            "new_engine": new_side,
+            "old_moves_per_sec": round(moves / t_old),
+            "new_moves_per_sec": round(moves / t_new),
             "speedup": round(t_old / t_new, 2),
         }
         print(
-            f"{label}: {moves} moves, reference {moves / t_old / 1e3:.0f}k mv/s, "
-            f"incremental {moves / t_new / 1e3:.0f}k mv/s, "
+            f"{label}: {moves} moves, {case.old} {moves / t_old / 1e3:.0f}k mv/s, "
+            f"{new_side} {moves / t_new / 1e3:.0f}k mv/s, "
             f"speedup {t_old / t_new:.2f}x"
         )
     return cases
 
 
-def write_baseline(repeats: int) -> None:
+def write_baseline(repeats: int, kernel_override: Optional[str]) -> None:
     payload = {
         "_comment": (
-            "Engine throughput: frozen pre-kernel reference vs. incremental "
-            "SimState engine, best-of-N wall time on identical workloads. "
-            "Regenerate with: PYTHONPATH=src python benchmarks/engine_perf.py"
+            "Engine throughput: per-case old-vs-new engine pairs (frozen "
+            "reference vs incremental SimState; scalar SimState vs batch "
+            "kernel), best-of-N wall time on identical label-seeded "
+            "workloads. Regenerate with: "
+            "PYTHONPATH=src python benchmarks/engine_perf.py"
         ),
         "repeats": repeats,
-        "cases": measure(repeats),
+        "cases": measure(repeats, kernel_override=kernel_override),
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")
 
 
-def check_against_baseline(repeats: int) -> int:
+def check_against_baseline(
+    repeats: int,
+    case_filter: Optional[str],
+    kernel_override: Optional[str],
+) -> int:
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; run without --check first")
         return 2
     baseline = json.loads(BASELINE_PATH.read_text())["cases"]
-    measured = measure(repeats)
+    measured = measure(repeats, case_filter, kernel_override)
     failures = []
-    for label, entry in baseline.items():
-        committed = entry["speedup"]
-        observed = measured[label]["speedup"]
-        floor = committed * REGRESSION_TOLERANCE
+    for label, observed_entry in measured.items():
+        if label not in baseline:
+            print(f"{label}: no committed baseline; regenerate BENCH_engine.json")
+            failures.append(label)
+            continue
+        committed = baseline[label]["speedup"]
+        observed = observed_entry["speedup"]
+        tolerance = (
+            CASES[label].tolerance if label in CASES else REGRESSION_TOLERANCE
+        )
+        floor = committed * tolerance
         status = "ok" if observed >= floor else "REGRESSION"
         print(
             f"{label}: committed {committed:.2f}x, observed {observed:.2f}x, "
@@ -156,7 +272,7 @@ def check_against_baseline(repeats: int) -> int:
     return 0
 
 
-def check_trace_overhead(repeats: int) -> int:
+def check_trace_overhead(repeats: int, case_filter: Optional[str]) -> int:
     """Gate: a NullTracer-equipped run is as fast as the default run.
 
     Both sides execute the same instructions (``tracer.enabled`` is
@@ -164,20 +280,23 @@ def check_trace_overhead(repeats: int) -> int:
     measured gap beyond noise means event-payload work has leaked out
     of the ``if tracing:`` guard.  The full-tracing slowdown (in-memory
     :class:`RecordingTracer` sink) is reported but not gated — it is
-    allowed to cost whatever faithful per-step events cost.
+    allowed to cost whatever faithful per-step events cost.  Runs on
+    each case's *new*-side engine, so the batch cases also gate the
+    vector path's tracing guard.
     """
     failures = []
-    for label, (name, rng_label, n, file_tokens) in CASES.items():
-        problem = single_file(
-            random_graph(n, bench_rng(rng_label)), file_tokens=file_tokens
-        )
+    for label, case in select_cases(case_filter).items():
+        if case.new == "reference":  # the frozen oracle has no tracer
+            continue
+        problem = case_problem(label, case)
 
         def run_with(tracer_factory) -> RunResult:
             return run_heuristic(
                 problem,
-                HEURISTIC_FACTORIES[name](),
+                HEURISTIC_FACTORIES[case.heuristic](),
                 seed=1,
                 tracer=tracer_factory() if tracer_factory else None,
+                kernel=case.new,
             )
 
         # Time the variants back-to-back within each repeat and compare
@@ -237,6 +356,20 @@ def main() -> int:
         f"(fail if slower by more than {TRACE_OVERHEAD_TOLERANCE:.0%})",
     )
     parser.add_argument(
+        "--cases",
+        metavar="SUBSTRING",
+        default=None,
+        help="only run cases whose label contains SUBSTRING",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("state", "batch", "auto"),
+        default=None,
+        help="override the new-side engine kernel of every non-reference "
+        "case (the workload stays label-seeded, so comparisons remain "
+        "apples-to-apples)",
+    )
+    parser.add_argument(
         "--repeats",
         type=int,
         default=5,
@@ -244,10 +377,13 @@ def main() -> int:
     )
     args = parser.parse_args()
     if args.trace_overhead:
-        return check_trace_overhead(args.repeats)
+        return check_trace_overhead(args.repeats, args.cases)
     if args.check:
-        return check_against_baseline(args.repeats)
-    write_baseline(args.repeats)
+        return check_against_baseline(args.repeats, args.cases, args.kernel)
+    if args.cases:
+        parser.error("--cases only applies to --check / --trace-overhead "
+                     "(the committed baseline must cover every case)")
+    write_baseline(args.repeats, args.kernel)
     return 0
 
 

@@ -66,14 +66,20 @@ def _baseline():
 def test_committed_baseline_covers_every_perf_case():
     """BENCH_engine.json must stay in sync with engine_perf.CASES so the
     CI regression gate (engine_perf.py --check) exercises all of them."""
-    from engine_perf import CASES
+    from engine_perf import CASES, ENGINE_SIDES
 
     baseline = _baseline()
     assert set(baseline["cases"]) == set(CASES)
     for label, entry in baseline["cases"].items():
+        case = CASES[label]
         assert entry["moves"] > 0, label
-        assert entry["incremental_moves_per_sec"] > 0, label
+        assert entry["old_moves_per_sec"] > 0, label
+        assert entry["new_moves_per_sec"] > 0, label
         assert entry["speedup"] > 0, label
+        assert entry["old_engine"] == case.old, label
+        assert entry["new_engine"] == case.new, label
+        assert entry["old_engine"] in ENGINE_SIDES, label
+        assert entry["new_engine"] in ENGINE_SIDES, label
 
 
 def test_committed_speedup_meets_incremental_kernel_target():
@@ -81,3 +87,13 @@ def test_committed_speedup_meets_incremental_kernel_target():
     frozen pre-kernel reference on the n=200 local-rarest workload."""
     baseline = _baseline()
     assert baseline["cases"]["local/n=200"]["speedup"] >= 3.0
+
+
+def test_committed_speedup_meets_batch_kernel_target():
+    """The batch kernel's acceptance bar: >= 3x moves/sec over the
+    scalar SimState kernel on the n=10^4 round-robin workload."""
+    baseline = _baseline()
+    entry = baseline["cases"]["round_robin/n=10000"]
+    assert entry["old_engine"] == "state"
+    assert entry["new_engine"] == "batch"
+    assert entry["speedup"] >= 3.0

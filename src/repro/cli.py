@@ -149,6 +149,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the phase-timer/metrics summary after the run",
     )
+    simulate.add_argument(
+        "--kernel",
+        choices=("state", "batch", "auto"),
+        default="state",
+        help="step kernel: state (default scalar), batch (numpy bitplane "
+        "matrices; errors if numpy is missing), or auto (batch when numpy "
+        "is importable, else state) — schedules are byte-identical either "
+        "way",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -196,6 +205,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "frozen pre-kernel oracle and re-trace its schedule) — diffing "
         "the two with 'trace-diff --ignore-fields engine' is the "
         "differential-debugging smoke test",
+    )
+    trace.add_argument(
+        "--kernel",
+        choices=("state", "batch", "auto"),
+        default="state",
+        help="step kernel for the sim engine (ignored with "
+        "--engine reference); traces are byte-identical across kernels",
     )
 
     diff = sub.add_parser(
@@ -452,7 +468,7 @@ def _cmd_simulate(args) -> int:
     from repro.core.pruning import prune_schedule
     from repro.heuristics import HEURISTIC_FACTORIES
     from repro.obs import MetricsRegistry
-    from repro.sim import run_heuristic, schedule_to_text
+    from repro.sim import MissingNumpyError, run_heuristic, schedule_to_text
 
     problem = _load_problem(args.problem)
     heuristic = _resolve_heuristic(args.heuristic)
@@ -464,7 +480,17 @@ def _cmd_simulate(args) -> int:
         )
         return 2
     metrics = MetricsRegistry() if args.profile else None
-    result = run_heuristic(problem, heuristic, seed=args.seed, metrics=metrics)
+    try:
+        result = run_heuristic(
+            problem,
+            heuristic,
+            seed=args.seed,
+            metrics=metrics,
+            kernel=args.kernel,
+        )
+    except MissingNumpyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     pruned, stats = prune_schedule(problem, result.schedule)
     print(
         f"{heuristic.name} on {problem}: success={result.success} "
@@ -481,7 +507,7 @@ def _cmd_simulate(args) -> int:
 def _cmd_trace(args) -> int:
     from repro.heuristics import HEURISTIC_FACTORIES, standard_heuristics
     from repro.obs import JsonlTracer, MetricsRegistry
-    from repro.sim import StallError, run_heuristic
+    from repro.sim import MissingNumpyError, StallError, run_heuristic
 
     if args.scenario in _GENERATE_FAMILIES:
         problem = _generate_problem(args.scenario, args.seed, args.size, args.tokens)
@@ -531,7 +557,11 @@ def _cmd_trace(args) -> int:
                         seed=args.seed,
                         tracer=tracer,
                         metrics=metrics,
+                        kernel=args.kernel,
                     )
+            except MissingNumpyError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
             except StallError as error:
                 failures += 1
                 print(f"{heuristic.name}: stalled ({error})", file=sys.stderr)

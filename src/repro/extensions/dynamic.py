@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.problem import Arc, Problem
 from repro.core.schedule import Schedule, Timestep
@@ -43,6 +43,7 @@ from repro.sim.engine import (
     StepContext,
     emit_run_start,
     emit_step_event,
+    resolve_state_factory,
 )
 from repro.sim.state import SimState
 
@@ -190,6 +191,7 @@ class DynamicEngine:
         success_predicate: Optional[Callable[[Sequence[TokenSet]], bool]] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        kernel: Union[str, Callable[[Problem], SimState], None] = None,
     ) -> None:
         self.conditions = conditions
         self.heuristic = heuristic
@@ -203,13 +205,18 @@ class DynamicEngine:
         self.success_predicate = success_predicate
         self.tracer: Tracer = tracer if tracer is not None else current_tracer()
         self.metrics = metrics
+        # Heuristics see per-turn graphs here, so batched reads keyed to
+        # the base problem's arcs do not apply; kernel choice still must
+        # not change behavior (proposals run through the dict path, and
+        # heuristics guard supply reads with a problem-identity check).
+        self._state_factory = resolve_state_factory(kernel)
 
     def run(self) -> RunResult:
         base = self.conditions.problem
         # The kernel is built on the *base* problem: per-turn graphs share
         # its have/want vectors and only differ in arcs, which SimState
         # never consults for state updates.
-        state = SimState(base)
+        state = self._state_factory(base)
         possession = state.possession  # live list; read-only here
         tracer = self.tracer
         tracing = tracer.enabled
@@ -315,6 +322,7 @@ def run_dynamic(
     max_steps: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    kernel: Union[str, Callable[[Problem], SimState], None] = None,
 ) -> RunResult:
     """One-call wrapper around :class:`DynamicEngine`."""
     return DynamicEngine(
@@ -324,6 +332,7 @@ def run_dynamic(
         max_steps=max_steps,
         tracer=tracer,
         metrics=metrics,
+        kernel=kernel,
     ).run()
 
 

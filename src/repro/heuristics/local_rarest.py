@@ -102,11 +102,21 @@ class LocalRarestHeuristic(Heuristic):
         rng_random = rng.random
         holder_counts = ctx.holder_counts
         state = ctx.state
+        supply: Optional[List[int]] = None
         if state is not None:
             # Kernel path: the aggregate need vector is maintained by the
             # kernel's O(delta) gain fold; possession is read as raw ints.
             need_counts = state.token_demand()
             masks = state.possession_masks
+            # Batch kernel: take the per-vertex in-neighbor supply unions
+            # as one grouped array reduction instead of a Python loop per
+            # vertex.  Only when the kernel's arc table is this step's
+            # graph (dynamic engines hand per-turn problems, whose arcs
+            # the kernel does not know).
+            if ctx.problem is state.problem:
+                supply_fn = getattr(state, "in_supply_masks", None)
+                if supply_fn is not None:
+                    supply = supply_fn()
         else:
             need_counts = self._refresh_need_counts(ctx)
             masks = [p.mask for p in ctx.possession]
@@ -127,9 +137,12 @@ class LocalRarestHeuristic(Heuristic):
             srcs = sup_srcs[v]
             if not srcs:
                 continue
-            available = 0
-            for s in srcs:
-                available |= masks[s]
+            if supply is not None:
+                available = supply[v]
+            else:
+                available = 0
+                for s in srcs:
+                    available |= masks[s]
             lacking = available & ~masks[v]
             if not lacking:
                 continue

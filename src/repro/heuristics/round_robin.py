@@ -17,15 +17,25 @@ The per-arc lap is computed by *rotating the possession bitmask* so the
 cursor sits at bit 0, taking the lowest ``capacity`` set bits, and
 rotating back — a handful of big-int operations instead of an O(m)
 per-token scan, with identical picks and cursor movement.
+
+Because the strategy is completely RNG-free and per-arc independent, it
+is the flagship client of the batch kernel's vector proposal path:
+:meth:`RoundRobinHeuristic.propose_vector` runs the same rotate/strip
+lap for *every arc at once* on the kernel's uint64 possession plane,
+replacing the per-arc Python loop with a fixed number of whole-array
+ops.  The picks and cursor movement are bit-identical to the scalar
+lap (token universes beyond one 64-bit plane fall back to the scalar
+path), so schedules match the dict path byte for byte.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic
 from repro.sim import Proposal, StepContext
+from repro.sim.batch import BatchState, VectorProposal
 
 __all__ = ["RoundRobinHeuristic"]
 
@@ -40,6 +50,11 @@ class RoundRobinHeuristic(Heuristic):
         self._cursor: Dict[Tuple[int, int], int] = {
             (arc.src, arc.dst): 0 for arc in self.problem.arcs
         }
+        # Vector-path cursor array; allocated on the first vector step.
+        # An engine either uses the vector path for a whole run or never
+        # (the fallback condition is static per problem), so the dict
+        # and array cursors are never mixed.
+        self._vec_cursor: Any = None
 
     def propose(self, ctx: StepContext) -> Proposal:
         problem = ctx.problem
@@ -75,3 +90,60 @@ class RoundRobinHeuristic(Heuristic):
             chosen = ((prefix << cursor) | (prefix >> (m - cursor))) & full
             sends[key] = TokenSet(chosen)
         return sends
+
+    def propose_vector(self, state: BatchState) -> Optional[VectorProposal]:
+        """All arcs' laps at once on the batch kernel's possession plane.
+
+        Mirrors :meth:`propose` exactly: arcs whose owners hold fewer
+        tokens than the arc capacity ship everything and keep their
+        cursor; the rest rotate their owned mask down by the cursor,
+        strip the ``capacity`` lowest set bits, and advance the cursor
+        one past the last picked token.  Rotation shifts stay below 64
+        only while the whole universe fits one plane with a spare bit,
+        so ``m > 63`` (or an empty universe) returns ``None`` and the
+        engine permanently falls back to the scalar path for the run.
+        """
+        m = self.problem.num_tokens
+        if m == 0 or m > 63 or state.planes != 1:
+            return None
+        np = state.np
+        caps = state.arc_cap
+        cursor = self._vec_cursor
+        if cursor is None:
+            cursor = self._vec_cursor = np.zeros(len(caps), dtype=np.uint64)
+        owned = state.matrix[state.arc_src, 0]
+        one = np.uint64(1)
+        zero = np.uint64(0)
+        m_u = np.uint64(m)
+        full = np.uint64((1 << m) - 1)
+        counts = np.bitwise_count(owned).astype(np.int64)
+        # capacity >= 1 always, so a "hard" (cursor-advancing) arc has a
+        # nonzero owner; everything else ships its whole owned set (which
+        # is empty for ownerless arcs) and leaves its cursor alone.
+        hard = counts >= caps
+        rot = ((owned >> cursor) | (owned << (m_u - cursor))) & full
+        prefix = np.zeros_like(owned)
+        rest = rot.copy()
+        last_low = np.zeros_like(owned)
+        for k in range(int(caps.max(initial=0))):
+            taking = hard & (caps > k)
+            if not taking.any():
+                break
+            low = rest & ~(rest - one)
+            low = np.where(taking, low, zero)
+            prefix |= low
+            rest ^= low
+            last_low = np.where(low != zero, low, last_low)
+        # The cursor lands one past the last picked token; the last pick
+        # is the highest bit of the rotated prefix, so its bit length is
+        # popcount(last_low - 1) + 1.
+        advance = np.where(
+            last_low != zero,
+            np.bitwise_count(last_low - one).astype(np.uint64) + one,
+            zero,
+        )
+        self._vec_cursor = np.where(hard, (cursor + advance) % m_u, cursor)
+        chosen = ((prefix << cursor) | (prefix >> (m_u - cursor))) & full
+        send = np.where(hard, chosen, owned)
+        nonzero = np.nonzero(send)[0]
+        return VectorProposal(arc_indices=nonzero, masks=send[nonzero])

@@ -20,7 +20,7 @@ the pre-rewrite implementation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic
@@ -54,15 +54,26 @@ class SequentialHeuristic(Heuristic):
             if state is not None
             else [p.mask for p in ctx.possession]
         )
+        # Batch kernel: vectorized in-neighbor supply unions (identical
+        # values, so the RNG stream below is untouched).  Guarded by a
+        # problem-identity check as in the Local heuristic.
+        supply: Optional[List[int]] = None
+        if state is not None and ctx.problem is state.problem:
+            supply_fn = getattr(state, "in_supply_masks", None)
+            if supply_fn is not None:
+                supply = supply_fn()
         sup_srcs = self._sup_srcs
         sends: Dict[Tuple[int, int], int] = {}
         for v in range(problem.num_vertices):
             srcs = sup_srcs[v]
             if not srcs:
                 continue
-            available = 0
-            for s in srcs:
-                available |= masks[s]
+            if supply is not None:
+                available = supply[v]
+            else:
+                available = 0
+                for s in srcs:
+                    available |= masks[s]
             lacking = available & ~masks[v]
             if not lacking:
                 continue

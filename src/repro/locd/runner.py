@@ -17,7 +17,7 @@ timestep ``i``:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, Union
 
 from repro.core.problem import Problem
 from repro.core.schedule import Schedule, Timestep
@@ -30,6 +30,7 @@ from repro.sim.engine import (
     RunResult,
     emit_run_start,
     emit_step_event,
+    resolve_state_factory,
 )
 from repro.sim.state import SimState
 
@@ -71,6 +72,7 @@ class LocalEngine:
         max_steps: Optional[int] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        kernel: Union[str, Callable[[Problem], SimState], None] = None,
     ) -> None:
         self.problem = problem
         self.algorithm = algorithm
@@ -80,6 +82,10 @@ class LocalEngine:
         self.max_steps = max_steps
         self.tracer: Tracer = tracer if tracer is not None else current_tracer()
         self.metrics = metrics
+        # LOCD algorithms only ever see per-vertex Knowledge, so the
+        # kernel choice cannot change decisions; the batch kernel's
+        # matrix stays unsynced (lazy) and costs nothing here.
+        self._state_factory = resolve_state_factory(kernel)
 
     def _decide_step(
         self,
@@ -136,7 +142,7 @@ class LocalEngine:
 
     def run(self) -> RunResult:
         problem = self.problem
-        state = SimState(problem)
+        state = self._state_factory(problem)
         possession = state.possession  # live list; read-only here
         tracer = self.tracer
         tracing = tracer.enabled
@@ -224,6 +230,7 @@ def run_local(
     max_steps: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    kernel: Union[str, Callable[[Problem], SimState], None] = None,
 ) -> RunResult:
     """One-call convenience wrapper around :class:`LocalEngine`."""
     return LocalEngine(
@@ -233,4 +240,5 @@ def run_local(
         max_steps=max_steps,
         tracer=tracer,
         metrics=metrics,
+        kernel=kernel,
     ).run()

@@ -1,5 +1,11 @@
 """Synchronous round-based simulation of OCD distribution schedules."""
 
+from repro.sim.batch import (
+    KERNEL_NAMES,
+    BatchState,
+    MissingNumpyError,
+    resolve_kernel,
+)
 from repro.sim.engine import (
     Engine,
     HeuristicProtocol,
@@ -14,15 +20,19 @@ from repro.sim.render import possession_timeline, schedule_to_text
 from repro.sim.state import SimState
 
 __all__ = [
+    "BatchState",
     "Engine",
     "HeuristicProtocol",
     "HeuristicViolation",
+    "KERNEL_NAMES",
+    "MissingNumpyError",
     "Proposal",
     "RunResult",
     "SimState",
     "StallError",
     "StepContext",
     "possession_timeline",
+    "resolve_kernel",
     "run_heuristic",
     "schedule_to_text",
 ]

@@ -1,0 +1,412 @@
+"""The vectorized batch step kernel: :class:`BatchState`.
+
+:class:`BatchState` is a drop-in subclass of :class:`repro.sim.SimState`
+that additionally mirrors possession into a dense ``(vertices, planes)``
+uint64 bitplane matrix (layout: :mod:`repro.sim.bitplanes`).  Every list
+the base kernel maintains — ``possession``, ``possession_masks``,
+``holder_counts``, ``deficit``, the gain journal — is inherited
+unchanged, so heuristics and engines that read those see *exactly* the
+state a plain ``SimState`` would give them, bit for bit.  On top of
+that, the matrix enables batched array ops where per-vertex Python
+loops used to run:
+
+* :meth:`in_supply_masks` — the per-vertex union of in-neighbor
+  possession (the flooding heuristics' supply scan) as one gather plus
+  one ``bitwise_or.reduceat`` over dst-grouped arcs;
+* :meth:`any_useful_arc` — the stall test as a single vectorized
+  comparison over all arcs;
+* :meth:`validate_vector` — batched capacity/possession validation of a
+  :class:`VectorProposal` (the engine's fast path for heuristics that
+  can propose as arrays, currently Round-Robin).
+
+The matrix is synced *lazily* from the inherited gain journal: a run
+that never touches a batched read (e.g. the LOCD runner) pays nothing
+beyond the initial pack.  Since the journal already carries every
+possession change, replaying it is exact — the matrix row of a vertex
+is always the bit image of ``possession_masks[v]`` at sync time.
+
+Equivalence contract: engines built on :class:`BatchState` produce
+schedules and JSONL traces byte-identical to :class:`SimState` and the
+frozen oracle in :mod:`repro.sim.reference` on every supported
+configuration (``tests/sim/test_batch_equivalence.py``).  The batched
+reads return the same *values* the scalar loops compute, so heuristics
+consume their RNG streams identically; the vector proposal path is
+restricted to RNG-free heuristics.
+
+Kernel selection is centralized in :func:`resolve_kernel`: ``"state"``
+(the default everywhere), ``"batch"`` (raises
+:class:`~repro.sim.bitplanes.MissingNumpyError` without numpy),
+``"auto"`` (batch when numpy is importable, else state), or a callable
+``Problem -> SimState`` for tests that inject instrumented kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.problem import Problem
+from repro.core.schedule import Timestep
+from repro.core.tokenset import TokenSet
+from repro.sim.bitplanes import (
+    HAVE_NUMPY,
+    MissingNumpyError,
+    masks_to_matrix,
+    matrix_to_masks,
+    plane_count,
+    require_numpy,
+)
+from repro.sim.engine import HeuristicViolation
+from repro.sim.state import SimState
+
+__all__ = [
+    "BatchState",
+    "VectorProposal",
+    "KernelFactory",
+    "KernelChoice",
+    "KERNEL_NAMES",
+    "HAVE_NUMPY",
+    "MissingNumpyError",
+    "resolve_kernel",
+]
+
+_PLANE_MASK = (1 << 64) - 1
+
+#: The engine-facing kernel names, in CLI/docs order.
+KERNEL_NAMES = ("state", "batch", "auto")
+
+KernelFactory = Callable[[Problem], SimState]
+KernelChoice = Union[str, KernelFactory, None]
+
+
+@dataclass(frozen=True)
+class VectorProposal:
+    """One timestep's sends as parallel arrays instead of a dict.
+
+    ``arc_indices`` indexes into ``problem.arcs`` in **increasing
+    order** — the same order a scalar heuristic inserts sends into its
+    proposal dict — and ``masks`` holds the corresponding single-plane
+    send bitmasks (the vector path is limited to token universes that
+    fit one uint64 plane).  Rows with empty masks must be omitted,
+    mirroring the dict path's validation dropping empty sends.
+    """
+
+    arc_indices: Any  # (K,) integer ndarray
+    masks: Any  # (K,) uint64 ndarray, all nonzero
+
+
+class _LazyVectorTimestep(Timestep):
+    """A validated :class:`Timestep` that materializes its dict lazily.
+
+    The vector path validates sends wholesale as arrays; building the
+    ``{arc: TokenSet}`` dict eagerly would put a Python loop over every
+    send back into the hot path just to store the schedule.  Instead the
+    index/mask arrays are kept and the dict is built on first ``sends``
+    access (trace emission, pruning, equality — all off the hot path),
+    in ascending arc order, exactly as the eager validator inserts it.
+    ``num_moves`` is precomputed from a popcount so schedule bandwidth
+    never forces materialization.
+    """
+
+    __slots__ = ("_keys", "_idx", "_masks", "_moves")
+
+    def __init__(
+        self, keys: List[Tuple[int, int]], idx: Any, masks: Any, moves: int
+    ) -> None:
+        # Deliberately skip Timestep.__init__: the base class's
+        # ``sends`` slot stays *unset*, so the first attribute access
+        # falls through to ``__getattr__`` below, which materializes
+        # the dict into the slot.  Later accesses hit the slot direct.
+        self._keys = keys
+        self._idx = idx
+        self._masks = masks
+        self._moves = moves
+
+    def __getattr__(self, name: str) -> Any:
+        if name == "sends":
+            keys = self._keys
+            sends = {
+                keys[i]: TokenSet(mask)
+                for i, mask in zip(self._idx.tolist(), self._masks.tolist())
+            }
+            self.sends = sends
+            return sends
+        raise AttributeError(name)
+
+    def num_moves(self) -> int:
+        return self._moves
+
+
+class BatchState(SimState):
+    """A :class:`SimState` with a lazily-synced dense bitplane mirror.
+
+    Construction requires numpy (:func:`resolve_kernel` never hands this
+    class out otherwise).  All inherited state is maintained by the base
+    class exactly as before; the subclass only *adds* reads.
+    """
+
+    __slots__ = (
+        "np",
+        "planes",
+        "_matrix",
+        "_matrix_version",
+        "_arc_src",
+        "_arc_dst",
+        "_arc_cap",
+        "_arc_keys",
+        "_in_gather",
+        "_in_starts",
+        "_in_dsts",
+        "_supply_cache",
+        "_supply_version",
+        "_useful_cache",
+        "_useful_version",
+    )
+
+    #: Engines probe this (via getattr, to avoid importing numpy-adjacent
+    #: modules on the scalar path) before offering heuristics the vector
+    #: proposal fast path.
+    supports_vector = True
+
+    def __init__(
+        self, problem: Problem, possession: Optional[Iterable[TokenSet]] = None
+    ) -> None:
+        super().__init__(problem, possession)
+        self.np = require_numpy()
+        self.planes = plane_count(problem.num_tokens)
+        self._matrix = masks_to_matrix(self.possession_masks, problem.num_tokens)
+        self._matrix_version = self.version
+        # Arc index arrays and supply groups are built on first use so
+        # drivers that never take a batched read (LOCD) skip them.
+        self._arc_src: Any = None
+        self._arc_dst: Any = None
+        self._arc_cap: Any = None
+        self._arc_keys: Optional[List[Tuple[int, int]]] = None
+        self._in_gather: Any = None
+        self._in_starts: Any = None
+        self._in_dsts: Optional[List[int]] = None
+        self._supply_cache: Optional[List[int]] = None
+        self._supply_version = -1
+        self._useful_cache = False
+        self._useful_version = -1
+
+    # ------------------------------------------------------------------
+    # Matrix mirror
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> Any:
+        """The ``(V, P)`` possession matrix, synced to the current state.
+
+        Sync replays the journal entries applied since the last read and
+        rewrites just those vertices' rows from ``possession_masks`` —
+        the masks are current, and possession only grows, so rewriting a
+        row repeatedly is idempotent.  O(gains since last read).
+        """
+        journal = self._journal
+        cursor = self._matrix_version
+        if cursor != len(journal):
+            matrix = self._matrix
+            masks = self.possession_masks
+            if self.planes == 1:
+                for dst, _gained in journal[cursor:]:
+                    matrix[dst, 0] = masks[dst]
+            else:
+                for dst, _gained in journal[cursor:]:
+                    mm = masks[dst]
+                    for p in range(self.planes):
+                        matrix[dst, p] = mm & _PLANE_MASK
+                        mm >>= 64
+            self._matrix_version = len(journal)
+        return self._matrix
+
+    def _ensure_arc_arrays(self) -> None:
+        if self._arc_keys is not None:
+            return
+        np = self.np
+        arcs = self.problem.arcs
+        n_arcs = len(arcs)
+        self._arc_src = np.fromiter(
+            (a.src for a in arcs), dtype=np.int64, count=n_arcs
+        )
+        self._arc_dst = np.fromiter(
+            (a.dst for a in arcs), dtype=np.int64, count=n_arcs
+        )
+        self._arc_cap = np.fromiter(
+            (a.capacity for a in arcs), dtype=np.int64, count=n_arcs
+        )
+        self._arc_keys = [(a.src, a.dst) for a in arcs]
+
+    @property
+    def arc_src(self) -> Any:
+        """Per-arc source vertex ids as an int64 array (arc order)."""
+        self._ensure_arc_arrays()
+        return self._arc_src
+
+    @property
+    def arc_dst(self) -> Any:
+        """Per-arc destination vertex ids as an int64 array (arc order)."""
+        self._ensure_arc_arrays()
+        return self._arc_dst
+
+    @property
+    def arc_cap(self) -> Any:
+        """Per-arc capacities as an int64 array (arc order)."""
+        self._ensure_arc_arrays()
+        return self._arc_cap
+
+    # ------------------------------------------------------------------
+    # Batched reads
+    # ------------------------------------------------------------------
+    def in_supply_masks(self) -> List[int]:
+        """Per-vertex union of in-neighbor possession, as int bitmasks.
+
+        ``out[v]`` equals ``OR(possession_masks[src] for arcs src -> v)``
+        — the supply scan every request-subdividing heuristic runs per
+        vertex per step — computed for all vertices at once with one
+        gather and one grouped-OR reduction.  Cached per state version,
+        so repeated reads within a quiescent state are free.
+        """
+        version = self.version
+        cached = self._supply_cache
+        if cached is not None and self._supply_version == version:
+            return cached
+        np = self.np
+        matrix = self.matrix
+        out = [0] * self.problem.num_vertices
+        if self._in_dsts is None:
+            self._ensure_arc_arrays()
+            if len(self._arc_keys or []) == 0:
+                self._in_dsts = []
+            else:
+                order = np.argsort(self._arc_dst, kind="stable")
+                dsts, starts = np.unique(
+                    self._arc_dst[order], return_index=True
+                )
+                self._in_gather = self._arc_src[order]
+                self._in_starts = starts
+                self._in_dsts = [int(d) for d in dsts]
+        if self._in_dsts:
+            unions = np.bitwise_or.reduceat(
+                matrix[self._in_gather], self._in_starts, axis=0
+            )
+            for dst, mask in zip(self._in_dsts, matrix_to_masks(unions)):
+                out[dst] = mask
+        self._supply_cache = out
+        self._supply_version = version
+        return out
+
+    def any_useful_arc(self) -> bool:
+        """Vectorized stall test: one comparison over all arcs at once.
+
+        Same answer as the base class's dirty-tracked scan (an arc is
+        useful iff its tail holds a token its head lacks); cached per
+        state version since possession only changes through the journal.
+        """
+        version = self.version
+        if self._useful_version == version:
+            return self._useful_cache
+        self._ensure_arc_arrays()
+        matrix = self.matrix
+        if len(self._arc_keys or []) == 0:
+            useful = False
+        else:
+            np = self.np
+            useful = bool(
+                np.any(matrix[self._arc_src] & ~matrix[self._arc_dst])
+            )
+        self._useful_cache = useful
+        self._useful_version = version
+        return useful
+
+    # ------------------------------------------------------------------
+    # Vector proposal validation (the engine fast path)
+    # ------------------------------------------------------------------
+    def validate_vector(
+        self, vec: VectorProposal, heuristic_name: str, step: int
+    ) -> Tuple[Timestep, Dict[int, int]]:
+        """Batched equivalent of ``Engine._validated_timestep``.
+
+        Checks every send's capacity and sender possession as array ops,
+        then materializes the validated :class:`Timestep` and the per-
+        vertex arrival masks in one pass over the nonzero sends.  Raises
+        :class:`HeuristicViolation` with the same message the scalar
+        validator produces for the same offense (capacity violations are
+        all reported before possession violations; a well-behaved vector
+        heuristic never triggers either).
+        """
+        np = self.np
+        self._ensure_arc_arrays()
+        arc_keys = self._arc_keys
+        assert arc_keys is not None
+        idx = vec.arc_indices
+        masks = vec.masks
+        counts = np.bitwise_count(masks).astype(np.int64)
+        caps = self._arc_cap[idx]
+        over = counts > caps
+        if over.any():
+            i = int(np.argmax(over))
+            src, dst = arc_keys[int(idx[i])]
+            raise HeuristicViolation(
+                f"step {step}: heuristic {heuristic_name!r} sent "
+                f"{int(counts[i])} tokens on arc ({src}, {dst}) of capacity "
+                f"{int(caps[i])}"
+            )
+        owned = self.matrix[self._arc_src[idx], 0]
+        bad = masks & ~owned
+        nonzero_bad = bad != 0
+        if nonzero_bad.any():
+            i = int(np.argmax(nonzero_bad))
+            src, _dst = arc_keys[int(idx[i])]
+            missing = TokenSet(int(bad[i]))
+            raise HeuristicViolation(
+                f"step {step}: heuristic {heuristic_name!r} sent tokens "
+                f"{sorted(missing)} that vertex {src} does not possess"
+            )
+        arrivals: Dict[int, int] = {}
+        if len(idx):
+            # Per-destination arrival masks as one grouped OR over the
+            # dst-sorted sends.  Arrival *values* are exactly what the
+            # eager dict fold computes; dict order differs (ascending
+            # dst vs first-encounter), which no consumer observes — the
+            # journal fold and trace emission are order-insensitive.
+            dsts = self._arc_dst[idx]
+            order = np.argsort(dsts, kind="stable")
+            udst, starts = np.unique(dsts[order], return_index=True)
+            grouped = np.bitwise_or.reduceat(masks[order], starts)
+            arrivals = dict(zip(udst.tolist(), grouped.tolist()))
+        timestep = _LazyVectorTimestep(
+            arc_keys, idx, masks, int(counts.sum())
+        )
+        return timestep, arrivals
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchState v{self.version} deficit={self.total_deficit} "
+            f"over {self.problem.num_vertices} vertices x {self.planes} plane(s)>"
+        )
+
+
+def resolve_kernel(kernel: KernelChoice) -> KernelFactory:
+    """Map an engine's ``kernel=`` argument to a state factory.
+
+    ``None``/``"state"`` select :class:`SimState`; ``"batch"`` selects
+    :class:`BatchState` and raises :class:`MissingNumpyError` up front
+    when numpy is unavailable (a run that would die on first use should
+    die at configuration time instead); ``"auto"`` degrades gracefully
+    to :class:`SimState` without numpy.  A callable is returned as-is —
+    the hook the seeded-fault tests use to inject instrumented kernels.
+    """
+    if kernel is None:
+        return SimState
+    if callable(kernel):
+        return kernel
+    if kernel == "state":
+        return SimState
+    if kernel == "batch":
+        require_numpy()
+        return BatchState
+    if kernel == "auto":
+        return BatchState if HAVE_NUMPY else SimState
+    raise ValueError(
+        f"unknown kernel {kernel!r}; choose one of {', '.join(KERNEL_NAMES)}"
+    )

@@ -1,0 +1,234 @@
+"""TokenSet <-> dense bitplane-matrix conversions for the batch kernel.
+
+The batch step kernel (:mod:`repro.sim.batch`) holds possession, want,
+and usefulness state as dense ``(vertices, planes)`` uint64 matrices:
+bit ``t % 64`` of plane ``t // 64`` in row ``v`` is set iff vertex ``v``
+holds token ``t``.  Token universes larger than 64 simply spill into
+additional planes, so one matrix row is the exact bit-for-bit image of
+the corresponding :class:`repro.core.tokenset.TokenSet` mask.
+
+This module is the single authority on that layout.  It provides the
+row/mask converters, the batched set algebra (union / intersection /
+difference / popcount) used by the kernel's vectorized reads, and the
+plane-level ``take`` (lowest-``k``-members) that mirrors
+:meth:`TokenSet.take`.  Everything here is proven equivalent to the
+``TokenSet``/frozenset oracle by ``tests/sim/test_bitplanes.py``.
+
+numpy is an *optional* dependency of the simulation layer (the exact
+solvers require it regardless).  Import of this module never fails:
+:data:`HAVE_NUMPY` records availability, :func:`require_numpy` raises a
+clear :class:`MissingNumpyError` on use, and setting the environment
+variable ``REPRO_NO_NUMPY=1`` forces the unavailable path (used by CI to
+prove the pure-Python fallback keeps the suite green).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Iterable, List, Sequence
+
+from repro.core.tokenset import TokenSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy
+    import numpy.typing
+
+    PlaneArray = numpy.typing.NDArray[numpy.uint64]
+else:  # pragma: no cover - alias for runtime annotations
+    PlaneArray = Any
+
+__all__ = [
+    "HAVE_NUMPY",
+    "MissingNumpyError",
+    "require_numpy",
+    "plane_count",
+    "mask_to_planes",
+    "planes_to_mask",
+    "masks_to_matrix",
+    "matrix_to_masks",
+    "tokensets_to_matrix",
+    "matrix_to_tokensets",
+    "planes_union",
+    "planes_intersection",
+    "planes_difference",
+    "popcount_rows",
+    "take_rows",
+]
+
+_PLANE_BITS = 64
+_PLANE_MASK = (1 << _PLANE_BITS) - 1
+
+
+class MissingNumpyError(RuntimeError):
+    """The batch kernel was requested but numpy is not importable."""
+
+
+def _import_numpy() -> Any:
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+        return None
+    return numpy
+
+
+_np = _import_numpy()
+
+#: Whether the dense bitplane backend can be used in this process.
+#: ``False`` either because numpy is genuinely absent or because
+#: ``REPRO_NO_NUMPY=1`` forces the fallback path for testing.
+HAVE_NUMPY: bool = _np is not None
+
+
+def require_numpy() -> Any:
+    """Return the numpy module, or raise a clear, actionable error."""
+    if _np is None:
+        raise MissingNumpyError(
+            "the batch simulation kernel needs numpy, which is not available "
+            "in this environment (or is disabled via REPRO_NO_NUMPY); "
+            "install numpy or select kernel='state' / kernel='auto'"
+        )
+    return _np
+
+
+def plane_count(num_tokens: int) -> int:
+    """Planes needed for a ``num_tokens``-token universe (at least 1).
+
+    A zero-token universe still gets one (all-zero) plane so that state
+    matrices always have a well-defined second dimension.
+    """
+    if num_tokens < 0:
+        raise ValueError(f"num_tokens must be non-negative, got {num_tokens}")
+    return max(1, (num_tokens + _PLANE_BITS - 1) // _PLANE_BITS)
+
+
+def mask_to_planes(mask: int, planes: int) -> List[int]:
+    """Split an int bitmask into ``planes`` uint64-sized plane values."""
+    if mask < 0:
+        raise ValueError(f"token bitmask must be non-negative, got {mask}")
+    out = []
+    for _ in range(planes):
+        out.append(mask & _PLANE_MASK)
+        mask >>= _PLANE_BITS
+    if mask:
+        raise ValueError(f"mask has bits beyond {planes} plane(s)")
+    return out
+
+
+def planes_to_mask(row: Sequence[int]) -> int:
+    """Recombine one row of plane values into an int bitmask."""
+    mask = 0
+    for i, plane in enumerate(row):
+        mask |= int(plane) << (i * _PLANE_BITS)
+    return mask
+
+
+def masks_to_matrix(masks: Sequence[int], num_tokens: int) -> PlaneArray:
+    """Pack per-vertex int bitmasks into a dense ``(V, P)`` uint64 matrix."""
+    np = require_numpy()
+    planes = plane_count(num_tokens)
+    matrix = np.zeros((len(masks), planes), dtype=np.uint64)
+    for v, mask in enumerate(masks):
+        for p, plane in enumerate(mask_to_planes(mask, planes)):
+            matrix[v, p] = plane
+    return matrix
+
+
+def matrix_to_masks(matrix: PlaneArray) -> List[int]:
+    """Unpack a ``(V, P)`` plane matrix back into per-vertex int bitmasks.
+
+    The single-plane fast path is one C-level ``tolist`` call; the
+    multi-plane path folds each extra plane in with shifted ORs.
+    """
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a (V, P) matrix, got shape {matrix.shape}")
+    planes = matrix.shape[1]
+    masks: List[int] = matrix[:, 0].tolist()
+    for p in range(1, planes):
+        shift = p * _PLANE_BITS
+        for v, plane in enumerate(matrix[:, p].tolist()):
+            if plane:
+                masks[v] |= plane << shift
+    return masks
+
+
+def tokensets_to_matrix(sets: Iterable[TokenSet], num_tokens: int) -> PlaneArray:
+    """Pack an iterable of :class:`TokenSet` into a ``(V, P)`` matrix."""
+    return masks_to_matrix([s.mask for s in sets], num_tokens)
+
+
+def matrix_to_tokensets(matrix: PlaneArray) -> List[TokenSet]:
+    """Unpack a ``(V, P)`` matrix into a list of :class:`TokenSet`."""
+    return [TokenSet(mask) for mask in matrix_to_masks(matrix)]
+
+
+# ----------------------------------------------------------------------
+# Batched set algebra (row-wise; shapes follow numpy broadcasting)
+# ----------------------------------------------------------------------
+def planes_union(a: PlaneArray, b: PlaneArray) -> PlaneArray:
+    """Element-wise union of two plane arrays."""
+    return a | b
+
+
+def planes_intersection(a: PlaneArray, b: PlaneArray) -> PlaneArray:
+    """Element-wise intersection of two plane arrays."""
+    return a & b
+
+
+def planes_difference(a: PlaneArray, b: PlaneArray) -> PlaneArray:
+    """Element-wise difference ``a - b`` of two plane arrays."""
+    return a & ~b
+
+
+def popcount_rows(matrix: PlaneArray) -> PlaneArray:
+    """Per-row popcount of a ``(V, P)`` matrix (i.e. ``len(TokenSet)``)."""
+    np = require_numpy()
+    return np.bitwise_count(matrix).sum(axis=1, dtype=np.int64)
+
+
+def take_rows(matrix: PlaneArray, counts: PlaneArray) -> PlaneArray:
+    """Per-row lowest-``count`` members, mirroring :meth:`TokenSet.take`.
+
+    Row ``v`` of the result keeps the ``counts[v]`` lowest set bits of
+    row ``v`` of ``matrix`` (all of them when it holds fewer).  Runs in
+    ``O(P)`` vectorized passes: a cumulative-popcount prefix locates the
+    plane where each row's quota is exhausted, and a per-plane select
+    keeps earlier planes whole, masks the boundary plane down to its
+    quota, and zeroes later planes.
+    """
+    np = require_numpy()
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a (V, P) matrix, got shape {matrix.shape}")
+    remaining = np.asarray(counts, dtype=np.int64).copy()
+    if remaining.shape != (matrix.shape[0],):
+        raise ValueError(
+            f"counts shape {remaining.shape} does not match {matrix.shape[0]} rows"
+        )
+    if (remaining < 0).any():
+        raise ValueError("counts must be non-negative")
+    out = np.zeros_like(matrix)
+    for p in range(matrix.shape[1]):
+        plane = matrix[:, p].copy()
+        pc = np.bitwise_count(plane).astype(np.int64)
+        whole = pc <= remaining
+        out[:, p] = np.where(whole, plane, 0)
+        # Boundary rows: strip lowest bits one at a time until the quota
+        # is met.  Each iteration handles every boundary row at once, so
+        # the loop runs at most 63 times regardless of V.
+        partial = ~whole
+        quota = np.where(partial, remaining, 0)
+        acc = np.zeros_like(plane)
+        while partial.any():
+            taking = partial & (quota > 0)
+            if not taking.any():
+                break
+            low = plane & ~(plane - np.uint64(1))
+            low = np.where(taking, low, 0)
+            acc |= low
+            plane ^= low
+            quota -= taking.astype(np.int64)
+            partial = taking
+        out[:, p] |= acc
+        remaining = np.maximum(remaining - pc, 0)
+    return out

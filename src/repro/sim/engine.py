@@ -27,7 +27,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.metrics import ScheduleMetrics, evaluate_schedule
 from repro.core.problem import Problem
@@ -48,9 +59,26 @@ __all__ = [
     "run_heuristic",
     "emit_run_start",
     "emit_step_event",
+    "resolve_state_factory",
 ]
 
 Proposal = Mapping[Tuple[int, int], TokenSet]
+
+
+def resolve_state_factory(
+    kernel: Union[str, Callable[[Problem], SimState], None],
+) -> Callable[[Problem], SimState]:
+    """Resolve an engine ``kernel=`` argument to a state factory.
+
+    The default scalar kernel resolves without touching
+    :mod:`repro.sim.batch` at all, so the classic path stays import-free;
+    anything else defers to :func:`repro.sim.batch.resolve_kernel`.
+    """
+    if kernel is None or kernel == "state":
+        return SimState
+    from repro.sim.batch import resolve_kernel
+
+    return resolve_kernel(kernel)
 
 
 class HeuristicViolation(RuntimeError):
@@ -284,6 +312,17 @@ class Engine:
         timers (``heuristic_select``, ``kernel_apply``) and run counters
         behind ``--profile``.  ``None`` (the default) skips all timing —
         wall-clock never enters the unprofiled path.
+    kernel:
+        Which step kernel holds the run's state: ``"state"`` (the
+        default :class:`SimState`), ``"batch"`` (the numpy bitplane
+        :class:`repro.sim.batch.BatchState`; raises a clear error when
+        numpy is unavailable), ``"auto"`` (batch when numpy is
+        importable, else state), or a ``Problem -> SimState`` callable.
+        Kernels are interchangeable: schedules and traces are
+        byte-identical whichever one runs (the batch-equivalence suite
+        enforces this).  With the batch kernel, heuristics exposing
+        ``propose_vector`` (Round-Robin) skip the per-arc Python
+        proposal/validation loops entirely.
     """
 
     def __init__(
@@ -298,6 +337,7 @@ class Engine:
         ] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        kernel: Union[str, Callable[[Problem], SimState], None] = None,
     ) -> None:
         self.problem = problem
         self.heuristic = heuristic
@@ -315,10 +355,11 @@ class Engine:
         self._capacities: Dict[Tuple[int, int], int] = {
             (arc.src, arc.dst): arc.capacity for arc in problem.arcs
         }
+        self._state_factory = resolve_state_factory(kernel)
 
     def run(self) -> RunResult:
         problem = self.problem
-        state = SimState(problem)
+        state = self._state_factory(problem)
         predicate = self.success_predicate
         # Hoisted once per run: the untraced/unprofiled loop below never
         # touches the tracer again and never consults a clock.
@@ -338,33 +379,66 @@ class Engine:
             emit_run_start(
                 tracer, "sim", problem, self.heuristic.name, state, self.max_steps
             )
+        # Vector fast path: a batch kernel plus a heuristic that can
+        # propose as arrays.  ``propose_vector`` returning None means the
+        # configuration is unsupported (e.g. tokens exceed one bitplane);
+        # the condition is static per run, so fall back permanently.
+        vector_fn: Optional[Callable[[SimState], Any]] = (
+            getattr(self.heuristic, "propose_vector", None)
+            if getattr(state, "supports_vector", False)
+            else None
+        )
+        # Any-typed alias: ``validate_vector`` only exists on the batch
+        # kernel, and the fast path only runs when the probe above found
+        # one.
+        vector_state: Any = state
 
         success = satisfied()
         while not success and len(steps) < self.max_steps:
-            ctx = StepContext(
-                problem,
-                len(steps),
-                state.possession,
-                state.holder_counts,
-                self.rng,
-                state=state,
-            )
-            if metrics is not None:
-                with metrics.timer("heuristic_select"):
+            vec = None
+            if vector_fn is not None:
+                if metrics is not None:
+                    with metrics.timer("heuristic_select"):
+                        vec = vector_fn(state)
+                else:
+                    vec = vector_fn(state)
+                if vec is None:
+                    vector_fn = None
+            if vec is None:
+                ctx = StepContext(
+                    problem,
+                    len(steps),
+                    state.possession,
+                    state.holder_counts,
+                    self.rng,
+                    state=state,
+                )
+                if metrics is not None:
+                    with metrics.timer("heuristic_select"):
+                        proposal = self.heuristic.propose(ctx)
+                else:
                     proposal = self.heuristic.propose(ctx)
-            else:
-                proposal = self.heuristic.propose(ctx)
             version_before = state.version
             if metrics is not None:
                 with metrics.timer("kernel_apply"):
+                    if vec is not None:
+                        timestep, arrivals = vector_state.validate_vector(
+                            vec, self.heuristic.name, len(steps)
+                        )
+                    else:
+                        timestep, arrivals = self._validated_timestep(
+                            proposal, state.possession_masks, len(steps)
+                        )
+                    state.apply_arrivals(arrivals)
+            else:
+                if vec is not None:
+                    timestep, arrivals = vector_state.validate_vector(
+                        vec, self.heuristic.name, len(steps)
+                    )
+                else:
                     timestep, arrivals = self._validated_timestep(
                         proposal, state.possession_masks, len(steps)
                     )
-                    state.apply_arrivals(arrivals)
-            else:
-                timestep, arrivals = self._validated_timestep(
-                    proposal, state.possession_masks, len(steps)
-                )
                 state.apply_arrivals(arrivals)
             progressed = state.version != version_before
             steps.append(timestep)
@@ -474,6 +548,7 @@ def run_heuristic(
     max_steps: Optional[int] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    kernel: Union[str, Callable[[Problem], SimState], None] = None,
 ) -> RunResult:
     """One-call convenience wrapper around :class:`Engine`."""
     return Engine(
@@ -483,4 +558,5 @@ def run_heuristic(
         max_steps=max_steps,
         tracer=tracer,
         metrics=metrics,
+        kernel=kernel,
     ).run()

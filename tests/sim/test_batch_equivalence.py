@@ -1,0 +1,389 @@
+"""Differential harness: the batch kernel changes *nothing* observable.
+
+:class:`repro.sim.batch.BatchState` is a representation change only —
+dense uint64 bitplane matrices behind the same :class:`repro.sim.SimState`
+API.  For every driver (engine, LOCD runner, dynamic engine), every
+heuristic, and every supported configuration, a ``(problem, seed)`` run
+through the batch kernel must be *byte-identical* to the scalar kernel
+and to the frozen pre-kernel oracle in :mod:`repro.sim.reference`:
+
+* identical schedules (same timesteps, arcs, token sets, success flag),
+* byte-identical JSONL traces against the scalar kernel,
+* trace-equivalent (modulo the ``engine`` label) against the oracle.
+
+The seeded grid sweeps topology families x token-universe sizes —
+including >64-token universes that spill into a second bitplane and
+force the vector proposal path to decline — for well over 100 instances,
+and a hypothesis property supplies shrinking when a divergence appears.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.extensions.dynamic import (
+    DynamicEngine,
+    periodic_outages,
+    random_fluctuations,
+)
+from repro.heuristics import HEURISTIC_FACTORIES
+from repro.heuristics.sequential import SequentialHeuristic
+from repro.locd import LocalRarest, StaleGreedy, run_local
+from repro.obs import JsonlTracer
+from repro.obs.analyze import diff_traces
+from repro.sim import MissingNumpyError, run_heuristic
+from repro.sim.batch import HAVE_NUMPY, BatchState, resolve_kernel
+from repro.sim.reference import (
+    make_reference_heuristic,
+    reference_run_heuristic,
+)
+from repro.sim.state import SimState
+
+from tests.conftest import make_random_problem, problems
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+ALL_HEURISTICS = tuple(HEURISTIC_FACTORIES) + ("sequential",)
+
+#: (max_vertices, max_tokens, instances) tiers; the 70-token tier spills
+#: into a second bitplane, so the vector path declines and the kernel's
+#: dict path carries the run.
+GRID = (
+    (8, 3, 40),
+    (10, 12, 30),
+    (12, 40, 20),
+    (10, 70, 15),
+)
+
+
+def new_heuristic(name: str):
+    if name == "sequential":
+        return SequentialHeuristic()
+    return HEURISTIC_FACTORIES[name]()
+
+
+def signature(schedule):
+    """A canonical, comparison-friendly form of a schedule."""
+    return [
+        sorted((key, ts.sends[key].mask) for key in ts.sends)
+        for ts in schedule.steps
+    ]
+
+
+def grid_instances():
+    """The seeded topology x token-count grid (>100 instances)."""
+    for tier, (max_v, max_t, count) in enumerate(GRID):
+        rng = random.Random(4200 + tier)
+        for i in range(count):
+            yield tier, i, make_random_problem(
+                rng, max_vertices=max_v, max_tokens=max_t
+            )
+
+
+# ----------------------------------------------------------------------
+# Engine: batch vs scalar vs reference oracle across the full grid
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestEngineEquivalence:
+    def test_grid_batch_vs_state_vs_reference(self):
+        checked = 0
+        for tier, i, problem in grid_instances():
+            seed = 31_000 + tier * 1000 + i
+            # Rotate heuristics across the grid so every (tier, heuristic)
+            # pair is exercised without running all 7 on all instances.
+            names = (
+                ALL_HEURISTICS
+                if i < 4
+                else (ALL_HEURISTICS[i % len(ALL_HEURISTICS)],)
+            )
+            for name in names:
+                state_run = run_heuristic(
+                    problem, new_heuristic(name), seed=seed, kernel="state"
+                )
+                batch_run = run_heuristic(
+                    problem, new_heuristic(name), seed=seed, kernel="batch"
+                )
+                assert state_run.success == batch_run.success, (name, seed)
+                assert signature(state_run.schedule) == signature(
+                    batch_run.schedule
+                ), (name, seed)
+                oracle = reference_run_heuristic(
+                    problem, make_reference_heuristic(name), seed=seed
+                )
+                assert oracle.success == batch_run.success, (name, seed)
+                assert signature(oracle.schedule) == signature(
+                    batch_run.schedule
+                ), (name, seed)
+            checked += 1
+        assert checked >= 100  # the grid is the >=100-instance contract
+
+    def test_vector_path_actually_engages(self):
+        """Guard against silently falling back to the dict path."""
+        calls = []
+
+        class CountingRoundRobin(HEURISTIC_FACTORIES["round_robin"]):
+            def propose_vector(self, state):
+                vec = super().propose_vector(state)
+                calls.append(vec is not None)
+                return vec
+
+        rng = random.Random(5)
+        problem = make_random_problem(rng, max_vertices=10, max_tokens=10)
+        result = run_heuristic(
+            problem, CountingRoundRobin(), seed=9, kernel="batch"
+        )
+        assert calls and all(calls)
+        assert len(calls) == result.makespan
+
+    def test_vector_path_declines_beyond_one_plane(self):
+        calls = []
+
+        class CountingRoundRobin(HEURISTIC_FACTORIES["round_robin"]):
+            def propose_vector(self, state):
+                vec = super().propose_vector(state)
+                calls.append(vec is not None)
+                return vec
+
+        rng = random.Random(6)
+        problem = make_random_problem(rng, max_vertices=6, max_tokens=70)
+        while problem.num_tokens <= 63:  # the grid draw must really spill
+            problem = make_random_problem(rng, max_vertices=6, max_tokens=70)
+        state_run = run_heuristic(
+            problem, new_heuristic("round_robin"), seed=2, kernel="state"
+        )
+        batch_run = run_heuristic(
+            problem, CountingRoundRobin(), seed=2, kernel="batch"
+        )
+        # Declined once, then the engine never asks again.
+        assert calls == [False]
+        assert signature(state_run.schedule) == signature(batch_run.schedule)
+
+    @given(problems(max_vertices=8, max_tokens=6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_schedules_identical(self, problem):
+        for name in ALL_HEURISTICS:
+            state_run = run_heuristic(
+                problem, new_heuristic(name), seed=17, kernel="state"
+            )
+            batch_run = run_heuristic(
+                problem, new_heuristic(name), seed=17, kernel="batch"
+            )
+            assert state_run.success == batch_run.success, name
+            assert signature(state_run.schedule) == signature(
+                batch_run.schedule
+            ), name
+
+
+# ----------------------------------------------------------------------
+# Traces: byte-identical JSONL vs scalar, label-equivalent vs oracle
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestTraceEquivalence:
+    def test_traces_byte_identical_vs_state(self, tmp_path):
+        rng = random.Random(21)
+        for i in range(12):
+            problem = make_random_problem(rng, max_vertices=10, max_tokens=10)
+            for name in ALL_HEURISTICS:
+                paths = {}
+                for kernel in ("state", "batch"):
+                    path = str(tmp_path / f"{i}-{name}-{kernel}.jsonl")
+                    with JsonlTracer(path=path) as tracer:
+                        run_heuristic(
+                            problem,
+                            new_heuristic(name),
+                            seed=700 + i,
+                            tracer=tracer,
+                            kernel=kernel,
+                        )
+                    paths[kernel] = path
+                state_bytes = open(paths["state"], "rb").read()
+                batch_bytes = open(paths["batch"], "rb").read()
+                assert state_bytes == batch_bytes, (i, name)
+
+    def test_trace_diff_vs_reference_oracle(self, tmp_path):
+        from repro.obs.analyze import retrace_run
+
+        rng = random.Random(23)
+        for i in range(6):
+            problem = make_random_problem(rng, max_vertices=8, max_tokens=6)
+            seed = 800 + i
+            batch_path = str(tmp_path / f"{i}-batch.jsonl")
+            with JsonlTracer(path=batch_path) as tracer:
+                run_heuristic(
+                    problem,
+                    new_heuristic("round_robin"),
+                    seed=seed,
+                    tracer=tracer,
+                    kernel="batch",
+                )
+            oracle = reference_run_heuristic(
+                problem, make_reference_heuristic("round_robin"), seed=seed
+            )
+            oracle_path = str(tmp_path / f"{i}-oracle.jsonl")
+            with JsonlTracer(path=oracle_path) as tracer:
+                retrace_run(
+                    tracer,
+                    problem,
+                    oracle.schedule,
+                    success=oracle.success,
+                    heuristic_name="round_robin",
+                    engine="reference",
+                )
+            diff = diff_traces(
+                batch_path, oracle_path, ignore_fields=("engine",)
+            )
+            assert diff.identical, (i, diff.divergence)
+
+
+# ----------------------------------------------------------------------
+# LOCD runner and dynamic engine on the batch kernel
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestDriverEquivalence:
+    def test_locd_batch_vs_state(self):
+        rng = random.Random(29)
+        for i in range(8):
+            problem = make_random_problem(rng, max_vertices=10, max_tokens=8)
+            for factory in (LocalRarest, StaleGreedy):
+                seed = 600 + i
+                state_run = run_local(
+                    problem, factory(), seed=seed, kernel="state"
+                )
+                batch_run = run_local(
+                    problem, factory(), seed=seed, kernel="batch"
+                )
+                assert state_run.success == batch_run.success
+                assert state_run.knowledge_cost == batch_run.knowledge_cost
+                assert signature(state_run.schedule) == signature(
+                    batch_run.schedule
+                )
+
+    def test_dynamic_batch_vs_state(self):
+        rng = random.Random(31)
+        for i in range(6):
+            problem = make_random_problem(rng, max_vertices=10, max_tokens=8)
+            seed = 900 + i
+            for conditions in (
+                lambda: random_fluctuations(problem, seed=seed),
+                lambda: periodic_outages(problem, 3, 1, seed=seed),
+            ):
+                for name in ("round_robin", "local"):
+                    runs = {}
+                    for kernel in ("state", "batch"):
+                        runs[kernel] = DynamicEngine(
+                            conditions(),
+                            new_heuristic(name),
+                            rng=random.Random(seed),
+                            kernel=kernel,
+                        ).run()
+                    assert runs["state"].success == runs["batch"].success
+                    assert signature(runs["state"].schedule) == signature(
+                        runs["batch"].schedule
+                    ), name
+
+
+# ----------------------------------------------------------------------
+# Kernel resolution and the optional-numpy contract (run in both modes)
+# ----------------------------------------------------------------------
+class TestKernelResolution:
+    def test_state_and_none_never_need_numpy(self, path_problem):
+        assert resolve_kernel(None) is SimState
+        assert resolve_kernel("state") is SimState
+        result = run_heuristic(
+            path_problem, new_heuristic("round_robin"), kernel="state"
+        )
+        assert result.success
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("bogus")
+
+    def test_callable_passthrough(self, path_problem):
+        made = []
+
+        def factory(problem):
+            state = SimState(problem)
+            made.append(state)
+            return state
+
+        result = run_heuristic(
+            path_problem, new_heuristic("round_robin"), kernel=factory
+        )
+        assert result.success
+        assert len(made) == 1
+
+    def test_batch_and_auto_honour_availability(self, path_problem):
+        if HAVE_NUMPY:
+            assert resolve_kernel("batch") is BatchState
+            assert resolve_kernel("auto") is BatchState
+        else:
+            with pytest.raises(MissingNumpyError):
+                resolve_kernel("batch")
+            assert resolve_kernel("auto") is SimState
+            # The fallback still runs end to end.
+            result = run_heuristic(
+                path_problem, new_heuristic("round_robin"), kernel="auto"
+            )
+            assert result.success
+
+    def test_no_numpy_subprocess_contract(self, tmp_path):
+        """Under REPRO_NO_NUMPY: 'batch' raises, 'auto' falls back, and
+        the schedule matches the numpy-enabled scalar kernel."""
+        import os
+        import subprocess
+        import sys
+
+        out = str(tmp_path / "sig.txt")
+        code = f"""
+import random, sys
+from repro.sim import MissingNumpyError, run_heuristic
+from repro.sim.batch import HAVE_NUMPY, resolve_kernel
+from repro.sim.state import SimState
+from repro.heuristics import HEURISTIC_FACTORIES
+from tests.conftest import make_random_problem
+
+assert not HAVE_NUMPY
+try:
+    resolve_kernel("batch")
+except MissingNumpyError:
+    pass
+else:
+    raise SystemExit("batch kernel resolved without numpy")
+assert resolve_kernel("auto") is SimState
+problem = make_random_problem(random.Random(77), max_vertices=8, max_tokens=6)
+result = run_heuristic(
+    problem, HEURISTIC_FACTORIES["round_robin"](), seed=5, kernel="auto"
+)
+sig = [
+    sorted((key, ts.sends[key].mask) for key in ts.sends)
+    for ts in result.schedule.steps
+]
+with open({out!r}, "w") as handle:
+    handle.write(repr((result.success, sig)))
+"""
+        env = dict(os.environ, REPRO_NO_NUMPY="1")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", ".", env.get("PYTHONPATH", "")) if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+            cwd=os.getcwd(),
+        )
+        assert result.returncode == 0, result.stderr
+        problem = make_random_problem(
+            random.Random(77), max_vertices=8, max_tokens=6
+        )
+        here = run_heuristic(
+            problem, new_heuristic("round_robin"), seed=5, kernel="state"
+        )
+        with open(out) as handle:
+            no_numpy_sig = handle.read()
+        assert no_numpy_sig == repr(
+            (here.success, signature(here.schedule))
+        )

@@ -1,0 +1,273 @@
+"""Bitplane layout round-trips and set algebra vs the TokenSet oracle.
+
+:mod:`repro.sim.bitplanes` is the single authority on the batch kernel's
+dense layout (bit ``t % 64`` of plane ``t // 64`` in row ``v``).  These
+tests pin the conversions and the batched algebra against the
+``TokenSet``/frozenset oracle on handwritten edges (empty, full,
+single-token, >64-token spill) and fuzzed universes up to three planes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.tokenset import TokenSet
+from repro.sim.bitplanes import (
+    HAVE_NUMPY,
+    MissingNumpyError,
+    mask_to_planes,
+    plane_count,
+    planes_to_mask,
+)
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+
+if HAVE_NUMPY:
+    import numpy as np
+
+    from repro.sim.bitplanes import (
+        masks_to_matrix,
+        matrix_to_masks,
+        matrix_to_tokensets,
+        planes_difference,
+        planes_intersection,
+        planes_union,
+        popcount_rows,
+        take_rows,
+        tokensets_to_matrix,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pure-python pieces (run even without numpy)
+# ----------------------------------------------------------------------
+class TestPlaneCount:
+    def test_edges(self):
+        assert plane_count(0) == 1
+        assert plane_count(1) == 1
+        assert plane_count(64) == 1
+        assert plane_count(65) == 2
+        assert plane_count(128) == 2
+        assert plane_count(129) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            plane_count(-1)
+
+
+class TestMaskPlaneRoundTrip:
+    @pytest.mark.parametrize(
+        "mask,planes",
+        [
+            (0, 1),
+            (1, 1),
+            ((1 << 64) - 1, 1),
+            (1 << 64, 2),
+            ((1 << 70) | 5, 2),
+            ((1 << 130) | (1 << 64) | 1, 3),
+        ],
+    )
+    def test_round_trip(self, mask, planes):
+        row = mask_to_planes(mask, planes)
+        assert len(row) == planes
+        assert all(0 <= p < (1 << 64) for p in row)
+        assert planes_to_mask(row) == mask
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            mask_to_planes(1 << 64, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_to_planes(-1, 1)
+
+    def test_fuzzed_round_trip(self):
+        rng = random.Random(42)
+        for _ in range(200):
+            m = rng.randint(1, 190)
+            mask = rng.getrandbits(m)
+            planes = plane_count(m)
+            assert planes_to_mask(mask_to_planes(mask, planes)) == mask
+
+
+# ----------------------------------------------------------------------
+# Matrix round-trips
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestMatrixRoundTrip:
+    def test_empty_sets(self):
+        sets = [TokenSet(0)] * 4
+        matrix = tokensets_to_matrix(sets, 10)
+        assert matrix.shape == (4, 1)
+        assert not matrix.any()
+        assert matrix_to_tokensets(matrix) == sets
+
+    def test_full_single_plane(self):
+        full = TokenSet((1 << 64) - 1)
+        matrix = tokensets_to_matrix([full], 64)
+        assert matrix.shape == (1, 1)
+        assert matrix_to_tokensets(matrix) == [full]
+
+    def test_single_token_positions(self):
+        for t in (0, 1, 63, 64, 65, 127, 128, 150):
+            s = TokenSet.from_iterable([t])
+            matrix = tokensets_to_matrix([s], t + 1)
+            assert matrix.shape == (1, plane_count(t + 1))
+            # layout: bit t % 64 of plane t // 64
+            assert int(matrix[0, t // 64]) == 1 << (t % 64)
+            assert matrix_to_tokensets(matrix) == [s]
+
+    def test_spill_beyond_64_tokens(self):
+        # 70-token universe: two planes, tokens straddling the boundary.
+        tokens = [0, 5, 63, 64, 66, 69]
+        s = TokenSet.from_iterable(tokens)
+        matrix = tokensets_to_matrix([s, TokenSet(0)], 70)
+        assert matrix.shape == (2, 2)
+        assert matrix_to_tokensets(matrix) == [s, TokenSet(0)]
+        assert sorted(matrix_to_tokensets(matrix)[0]) == tokens
+
+    def test_zero_token_universe_has_one_plane(self):
+        matrix = masks_to_matrix([0, 0, 0], 0)
+        assert matrix.shape == (3, 1)
+        assert matrix_to_masks(matrix) == [0, 0, 0]
+
+    def test_fuzzed_round_trip_multi_plane(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            m = rng.randint(1, 190)
+            masks = [rng.getrandbits(m) for _ in range(rng.randint(1, 8))]
+            matrix = masks_to_matrix(masks, m)
+            assert matrix.shape == (len(masks), plane_count(m))
+            assert matrix_to_masks(matrix) == masks
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_to_masks(np.zeros(3, dtype=np.uint64))
+
+
+# ----------------------------------------------------------------------
+# Batched set algebra vs the frozenset oracle
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestPlaneAlgebra:
+    @staticmethod
+    def _pairs(seed, rounds=120, max_tokens=190):
+        rng = random.Random(seed)
+        for _ in range(rounds):
+            m = rng.randint(1, max_tokens)
+            rows = rng.randint(1, 6)
+            a_masks = [rng.getrandbits(m) for _ in range(rows)]
+            b_masks = [rng.getrandbits(m) for _ in range(rows)]
+            yield m, a_masks, b_masks
+
+    def test_union_intersection_difference(self):
+        for m, a_masks, b_masks in self._pairs(seed=11):
+            a = masks_to_matrix(a_masks, m)
+            b = masks_to_matrix(b_masks, m)
+            got_union = matrix_to_masks(planes_union(a, b))
+            got_inter = matrix_to_masks(planes_intersection(a, b))
+            got_diff = matrix_to_masks(planes_difference(a, b))
+            for i, (am, bm) in enumerate(zip(a_masks, b_masks)):
+                sa = frozenset(TokenSet(am))
+                sb = frozenset(TokenSet(bm))
+                assert frozenset(TokenSet(got_union[i])) == sa | sb
+                assert frozenset(TokenSet(got_inter[i])) == sa & sb
+                assert frozenset(TokenSet(got_diff[i])) == sa - sb
+
+    def test_popcount_rows(self):
+        for m, a_masks, _ in self._pairs(seed=13, rounds=60):
+            a = masks_to_matrix(a_masks, m)
+            counts = popcount_rows(a)
+            assert counts.tolist() == [len(TokenSet(x)) for x in a_masks]
+
+
+@needs_numpy
+class TestTakeRows:
+    def test_edges(self):
+        m = 70  # two planes
+        masks = [
+            0,  # empty row
+            (1 << 70) - 1,  # full row
+            1 << 69,  # single high token
+            (1 << 5) | (1 << 63) | (1 << 64),  # boundary straddle
+        ]
+        matrix = masks_to_matrix(masks, m)
+        counts = np.array([3, 2, 1, 2], dtype=np.int64)
+        got = matrix_to_masks(take_rows(matrix, counts))
+        for i, mask in enumerate(masks):
+            assert got[i] == TokenSet(mask).take(int(counts[i])).mask
+
+    def test_take_zero_and_overshoot(self):
+        matrix = masks_to_matrix([0b1011, 0b1011], 4)
+        got = matrix_to_masks(
+            take_rows(matrix, np.array([0, 99], dtype=np.int64))
+        )
+        assert got == [0, 0b1011]
+
+    def test_fuzzed_vs_tokenset_take(self):
+        rng = random.Random(99)
+        for _ in range(150):
+            m = rng.randint(1, 190)
+            masks = [rng.getrandbits(m) for _ in range(rng.randint(1, 6))]
+            counts = np.array(
+                [rng.randint(0, m + 2) for _ in masks], dtype=np.int64
+            )
+            got = matrix_to_masks(take_rows(masks_to_matrix(masks, m), counts))
+            for i, mask in enumerate(masks):
+                want = TokenSet(mask).take(int(counts[i]))
+                assert got[i] == want.mask, (m, mask, int(counts[i]))
+
+    def test_negative_counts_rejected(self):
+        matrix = masks_to_matrix([3], 2)
+        with pytest.raises(ValueError):
+            take_rows(matrix, np.array([-1], dtype=np.int64))
+
+    def test_shape_mismatch_rejected(self):
+        matrix = masks_to_matrix([3, 1], 2)
+        with pytest.raises(ValueError):
+            take_rows(matrix, np.array([1], dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Optional-dependency contract
+# ----------------------------------------------------------------------
+class TestNumpyGate:
+    def test_require_numpy_matches_flag(self):
+        from repro.sim.bitplanes import require_numpy
+
+        if HAVE_NUMPY:
+            assert require_numpy() is not None
+        else:
+            with pytest.raises(MissingNumpyError):
+                require_numpy()
+
+    def test_no_numpy_subprocess_flag_and_error(self):
+        """REPRO_NO_NUMPY forces the fallback even when numpy exists."""
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.sim.bitplanes import HAVE_NUMPY, require_numpy, "
+            "MissingNumpyError\n"
+            "assert not HAVE_NUMPY\n"
+            "try:\n"
+            "    require_numpy()\n"
+            "except MissingNumpyError as e:\n"
+            "    assert 'numpy' in str(e)\n"
+            "else:\n"
+            "    raise SystemExit('require_numpy did not raise')\n"
+        )
+        env = dict(os.environ, REPRO_NO_NUMPY="1")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
