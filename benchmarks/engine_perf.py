@@ -8,9 +8,17 @@ own pair:
 * the original cases pit the incremental :class:`repro.sim.SimState`
   kernel against the frozen pre-kernel loop in
   :mod:`repro.sim.reference`;
-* the ``round_robin/n=1000`` and ``round_robin/n=10000`` cases pit the
+* the ``round_robin/n>=1000`` and ``local/n>=1000`` cases pit the
   vectorized batch kernel (``kernel="batch"``) against the scalar
-  ``SimState`` kernel on workloads large enough for array ops to pay.
+  ``SimState`` kernel on workloads large enough for array ops to pay —
+  including the RNG-bound local-rarest vector path (direct engine-RNG
+  draws in scalar order, so its speedup is bounded by the shared
+  shuffle/draw cost — see docs/MODEL.md §8) and a heavy
+  ``round_robin/n=100000`` swarm case (sparse O(E) instances, measured
+  with ``--heavy`` and recorded rather than gated).  The big local
+  cases use many-token files on unit-capacity arcs: that is the regime
+  the vector screen is built for (entry extraction dominates, request
+  budgets exhaust early).
 
 Instances are seeded from the *case label* (``bench_rng`` on
 ``engine_perf/<label>``), never from the engine choice, so both sides of
@@ -64,7 +72,8 @@ from repro.sim.reference import (  # noqa: E402
     make_reference_heuristic,
     reference_run_heuristic,
 )
-from repro.topology import random_graph  # noqa: E402
+from repro.topology import random_graph, sparse_random_graph  # noqa: E402
+from repro.topology.weights import unit_capacity  # noqa: E402
 from repro.workloads import single_file  # noqa: E402
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -94,6 +103,22 @@ class BenchCase:
     file_tokens: int
     old: str = "reference"
     new: str = "state"
+    #: Draw the instance with the O(edges) Batagelj–Brandes sampler
+    #: (required beyond a few thousand vertices, where per-pair G(n, p)
+    #: sampling alone would dwarf the simulation).
+    sparse: bool = False
+    #: Heavy cases (minutes of scalar wall time) are excluded from
+    #: default runs and ``--check``; select them exactly by label or
+    #: pass ``--heavy``.  Their committed entries survive baseline
+    #: regeneration without ``--heavy``.
+    heavy: bool = False
+    #: Per-case override of the best-of-N repeat count.
+    repeats: Optional[int] = None
+    #: Draw every arc with capacity 1 instead of the paper's [3, 15]
+    #: range.  The big local cases use this: unit budgets exhaust after
+    #: one grant per arc, which is the regime where the vector screen's
+    #: early-exhaustion advantage over the scalar inversion is largest.
+    unit_caps: bool = False
 
     def needs_numpy(self) -> bool:
         return "batch" in (self.old, self.new)
@@ -118,6 +143,34 @@ CASES: Dict[str, BenchCase] = {
     "round_robin/n=10000": BenchCase(
         "round_robin", 10000, 50, "state", "batch"
     ),
+    # RNG-bound vector paths: the local-rarest assignment loop drawing
+    # the engine RNG in scalar order, vs its scalar twin, on sparse
+    # paper-probability overlays with many-token files and unit arcs.
+    "local/n=1000": BenchCase(
+        "local", 1000, 256, "state", "batch", sparse=True, unit_caps=True
+    ),
+    "local/n=10000": BenchCase(
+        "local",
+        10000,
+        256,
+        "state",
+        "batch",
+        sparse=True,
+        repeats=2,
+        unit_caps=True,
+    ),
+    # The 10^5 swarm regime.  The scalar side alone takes minutes, so
+    # the case is measured once and recorded, not gated per-push.
+    "round_robin/n=100000": BenchCase(
+        "round_robin",
+        100000,
+        50,
+        "state",
+        "batch",
+        sparse=True,
+        heavy=True,
+        repeats=1,
+    ),
 }
 
 
@@ -127,8 +180,12 @@ def case_problem(label: str, case: BenchCase) -> Problem:
     Engine/kernel choice never feeds the seed, so every side of a pair
     (and any ``--kernel`` override) simulates the identical instance.
     """
+    sampler = sparse_random_graph if case.sparse else random_graph
+    kwargs = {}
+    if case.unit_caps:
+        kwargs["capacity"] = unit_capacity
     return single_file(
-        random_graph(case.n, bench_rng(f"engine_perf/{label}")),
+        sampler(case.n, bench_rng(f"engine_perf/{label}"), **kwargs),
         file_tokens=case.file_tokens,
     )
 
@@ -147,15 +204,20 @@ def side_runner(
 
 def select_cases(
     case_filter: Optional[str],
+    include_heavy: bool = False,
 ) -> Dict[str, BenchCase]:
-    if case_filter in CASES:  # exact label beats substring ("n=1000"
-        # is a substring of "n=10000", so exact selection must win)
-        selected = {case_filter: CASES[case_filter]}
+    terms = case_filter.split(",") if case_filter else []
+    if terms and all(term in CASES for term in terms):
+        # Exact labels beat substrings ("n=1000" is a substring of
+        # "n=10000", so exact selection must win); exact selection also
+        # opts into heavy cases.
+        selected = {term: CASES[term] for term in terms}
     else:
         selected = {
             label: case
             for label, case in CASES.items()
-            if case_filter is None or case_filter in label
+            if (not terms or any(term in label for term in terms))
+            and (include_heavy or not case.heavy)
         }
     if not selected:
         raise SystemExit(f"no benchmark case matches {case_filter!r}")
@@ -180,24 +242,52 @@ def _best_time(fn: Callable[[], RunResult], repeats: int) -> Tuple[float, RunRes
     return best, result
 
 
+def _step_sends(timestep):
+    """``{arc: mask}`` of one timestep, without materializing lazy
+    vector timesteps into TokenSet dicts (the 10^5 cases would pay
+    gigabytes for a comparison that only needs the raw masks).
+
+    A mapping, not an ordered list: the frozen reference oracle
+    predates the kernels' proposal-dict insertion-order conventions, so
+    reference pairs agree on *which* sends each step makes, not on
+    enumeration order.  Byte-level send order between the scalar and
+    batch kernels is pinned separately by the differential trace suite.
+    """
+    stream = getattr(timestep, "iter_sends_masks", None)
+    if stream is not None:
+        return dict(stream())
+    return {key: tokens.mask for key, tokens in timestep.sends.items()}
+
+
+def schedules_equal(a, b) -> bool:
+    """Step-by-step send equality, streamed from lazy timesteps."""
+    if len(a.steps) != len(b.steps):
+        return False
+    return all(
+        _step_sends(sa) == _step_sends(sb) for sa, sb in zip(a.steps, b.steps)
+    )
+
+
 def measure(
     repeats: int,
     case_filter: Optional[str] = None,
     kernel_override: Optional[str] = None,
+    include_heavy: bool = False,
 ) -> Dict[str, Dict[str, object]]:
     cases: Dict[str, Dict[str, object]] = {}
-    for label, case in select_cases(case_filter).items():
+    for label, case in select_cases(case_filter, include_heavy).items():
         new_side = case.new
         if kernel_override is not None and case.new != "reference":
             new_side = kernel_override
+        reps = case.repeats if case.repeats is not None else repeats
         problem = case_problem(label, case)
         t_new, new = _best_time(
-            side_runner(new_side, problem, case.heuristic), repeats
+            side_runner(new_side, problem, case.heuristic), reps
         )
         t_old, old = _best_time(
-            side_runner(case.old, problem, case.heuristic), repeats
+            side_runner(case.old, problem, case.heuristic), reps
         )
-        if old.schedule != new.schedule:
+        if not schedules_equal(old.schedule, new.schedule):
             raise AssertionError(
                 f"{label}: {case.old} and {new_side} engines disagree "
                 f"({old.schedule.bandwidth} vs {new.schedule.bandwidth} moves)"
@@ -220,17 +310,30 @@ def measure(
     return cases
 
 
-def write_baseline(repeats: int, kernel_override: Optional[str]) -> None:
+def write_baseline(
+    repeats: int, kernel_override: Optional[str], include_heavy: bool
+) -> None:
+    cases = measure(
+        repeats, kernel_override=kernel_override, include_heavy=include_heavy
+    )
+    if not include_heavy and BASELINE_PATH.exists():
+        # Keep the committed heavy entries (they are measured rarely,
+        # with --heavy) instead of silently dropping them.
+        previous = json.loads(BASELINE_PATH.read_text())["cases"]
+        for label, case in CASES.items():
+            if case.heavy and label in previous and label not in cases:
+                cases[label] = previous[label]
+                print(f"{label}: kept committed entry (rerun with --heavy)")
     payload = {
         "_comment": (
             "Engine throughput: per-case old-vs-new engine pairs (frozen "
             "reference vs incremental SimState; scalar SimState vs batch "
             "kernel), best-of-N wall time on identical label-seeded "
             "workloads. Regenerate with: "
-            "PYTHONPATH=src python benchmarks/engine_perf.py"
+            "PYTHONPATH=src python benchmarks/engine_perf.py [--heavy]"
         ),
         "repeats": repeats,
-        "cases": measure(repeats, kernel_override=kernel_override),
+        "cases": cases,
     }
     BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")
@@ -240,12 +343,13 @@ def check_against_baseline(
     repeats: int,
     case_filter: Optional[str],
     kernel_override: Optional[str],
+    include_heavy: bool = False,
 ) -> int:
     if not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; run without --check first")
         return 2
     baseline = json.loads(BASELINE_PATH.read_text())["cases"]
-    measured = measure(repeats, case_filter, kernel_override)
+    measured = measure(repeats, case_filter, kernel_override, include_heavy)
     failures = []
     for label, observed_entry in measured.items():
         if label not in baseline:
@@ -359,7 +463,8 @@ def main() -> int:
         "--cases",
         metavar="SUBSTRING",
         default=None,
-        help="only run cases whose label contains SUBSTRING",
+        help="only run cases whose label contains SUBSTRING "
+        "(comma-separated alternatives; exact labels win over substrings)",
     )
     parser.add_argument(
         "--kernel",
@@ -375,15 +480,23 @@ def main() -> int:
         default=5,
         help="best-of-N timing repeats per case (default 5)",
     )
+    parser.add_argument(
+        "--heavy",
+        action="store_true",
+        help="include heavy cases (minutes of scalar wall time); they "
+        "are otherwise skipped unless selected exactly by label",
+    )
     args = parser.parse_args()
     if args.trace_overhead:
         return check_trace_overhead(args.repeats, args.cases)
     if args.check:
-        return check_against_baseline(args.repeats, args.cases, args.kernel)
+        return check_against_baseline(
+            args.repeats, args.cases, args.kernel, args.heavy
+        )
     if args.cases:
         parser.error("--cases only applies to --check / --trace-overhead "
                      "(the committed baseline must cover every case)")
-    write_baseline(args.repeats, args.kernel)
+    write_baseline(args.repeats, args.kernel, args.heavy)
     return 0
 
 

@@ -1,4 +1,4 @@
-"""The whole-program ocdlint rules (OCD010–OCD014).
+"""The whole-program ocdlint rules (OCD010–OCD015).
 
 Where OCD001–OCD008 inspect one module at a time, these rules consume
 the :class:`repro.checks.program.ProgramIndex` — symbol table, call
@@ -15,6 +15,9 @@ message.
   schema registry in :mod:`repro.obs.events`.
 * OCD014 — multiprocessing hazards in sweep worker code: unpicklable
   submissions, worker-side module-global mutation, fork-unsafe capture.
+* OCD015 — ``propose_vector`` fast paths drawing RNG outside the
+  documented stream-order protocol (scalar-identical draw methods on
+  the engine RNG; no fresh or numpy streams).
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ __all__ = [
     "CrossFunctionSetIterationRule",
     "TraceContractRule",
     "MultiprocessingSafetyRule",
+    "VectorStreamOrderRule",
 ]
 
 
@@ -504,3 +508,96 @@ class MultiprocessingSafetyRule(ProgramRule):
                     )
                 )
         return diags
+
+
+# ======================================================================
+# OCD015 — vector proposal paths draw RNG in the scalar stream order
+# ======================================================================
+@register_rule
+class VectorStreamOrderRule(ProgramRule):
+    """``propose_vector`` fast paths are only byte-compatible with their
+    scalar twins if they consume the engine RNG through the *identical
+    call sequence* — the documented stream-order protocol allows exactly
+    the draw methods the scalar loops make (``rng.random``,
+    ``rng.shuffle``, ``rng.sample``), in scalar order.  Any other draw
+    (``getrandbits``, ``randrange``, ``choice``, ...) consumes a
+    different number of Mersenne words, and constructing a fresh stream
+    (``random.Random(...)``, ``np.random.default_rng(...)``) silently
+    decouples the vector path from the engine seed.  Either way the
+    schedules may still *look* right for many instances — the
+    divergence only shows up as a trace mismatch far downstream, which
+    is why the protocol is linted here and property-tested in
+    ``tests/heuristics/test_vector_rng_stream.py``.
+    """
+
+    code = "OCD015"
+    name = "vector-stream-order"
+    summary = "propose_vector draws RNG outside the stream-order protocol"
+    invariant = (
+        "vector/scalar equivalence: propose_vector consumes the engine "
+        "RNG through the exact scalar call sequence (docs/MODEL.md §8), "
+        "so schedules, traces, and rng.getstate() stay byte-identical"
+    )
+    packages = MODEL_PACKAGES
+
+    #: The draw methods the scalar proposal loops themselves make.
+    _ALLOWED: FrozenSet[str] = frozenset({"random", "shuffle", "sample"})
+
+    def check_program(self, index: ProgramIndex) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for mod in index.modules:
+            if not self.reports_in(mod.package):
+                continue
+            for fn in mod.functions:
+                if "propose_vector" not in fn.qname.split("."):
+                    continue
+                for call in fn.calls:
+                    message = self._violation(call.ref)
+                    if message is not None:
+                        diags.append(
+                            self.diagnostic(
+                                mod.path, call.line, call.col, message
+                            )
+                        )
+        return diags
+
+    def _violation(self, ref: str) -> Optional[str]:
+        kind, _, path = ref.partition(":")
+        parts = path.split(".")
+        method = parts[-1]
+        # Fresh RNG streams are never stream-order-exact: the engine
+        # seed no longer reaches the draws at all.
+        if method == "Random" and len(parts) > 1 and parts[-2] == "random":
+            return (
+                "propose_vector constructs a fresh random.Random; draw "
+                "from the engine RNG (self.rng) in scalar call order "
+                "instead (docs/MODEL.md §8)"
+            )
+        if method == "default_rng" or ".random." in f".{'.'.join(parts[:-1])}.":
+            if "random" in parts[:-1]:
+                return (
+                    f"propose_vector draws from a numpy RNG "
+                    f"({path}); numpy streams cannot replay the scalar "
+                    f"loop's Mersenne word sequence — use the engine "
+                    f"RNG's scalar call order (docs/MODEL.md §8)"
+                )
+        if kind == "a" and len(parts) > 1:
+            receiver = parts[-2]
+            if receiver == "rng" or receiver.endswith("_rng"):
+                if method not in self._ALLOWED:
+                    return self._bad_method(f"{receiver}.{method}")
+        elif kind == "n" and method.startswith("rng_"):
+            # The bound-method alias convention of the hot loops
+            # (``rng_random = rng.random``).
+            if method[len("rng_"):] not in self._ALLOWED:
+                return self._bad_method(method)
+        return None
+
+    def _bad_method(self, what: str) -> str:
+        allowed = ", ".join(f"rng.{m}" for m in sorted(self._ALLOWED))
+        return (
+            f"propose_vector draws {what}() outside the documented "
+            f"stream-order protocol; only the scalar loops' draw methods "
+            f"({allowed}) keep the word stream byte-identical "
+            f"(docs/MODEL.md §8)"
+        )

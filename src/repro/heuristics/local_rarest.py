@@ -34,11 +34,19 @@ are byte-identical to the pre-rewrite implementation (see
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic
 from repro.sim import Proposal, StepContext
+from repro.heuristics.vector_common import (
+    InArcTables,
+    build_in_tables,
+    empty_vector_proposal,
+    grouped_requests,
+    pack_assignments,
+)
+from repro.sim.batch import BatchState, VectorProposal
 
 __all__ = ["LocalRarestHeuristic"]
 
@@ -67,6 +75,10 @@ class LocalRarestHeuristic(Heuristic):
             self._sup_srcs.append([arc.src for arc in in_arcs])
             self._sup_keys.append([(arc.src, arc.dst) for arc in in_arcs])
             self._sup_caps.append([arc.capacity for arc in in_arcs])
+        # Vector-path in-arc tables (global arc ids grouped by dst in
+        # in-arc order); built lazily on the first vector step so scalar
+        # runs never pay for them.
+        self._vec_tables: Optional[InArcTables] = None
 
     def _refresh_need_counts(self, ctx: StepContext) -> List[int]:
         """Fold possession gains since the last turn into the aggregate
@@ -201,3 +213,91 @@ class LocalRarestHeuristic(Heuristic):
                 if acc:
                     sends[keys[i]] = acc
         return {key: TokenSet(mask) for key, mask in sends.items()}
+
+    def propose_vector(self, state: BatchState) -> Optional[VectorProposal]:
+        """The rarest-random step as batched arrays.
+
+        The receiver screen (supply unions, lacking masks, request
+        lists, per-request holder slots) is computed for every vertex at
+        once by :mod:`repro.heuristics.vector_common`; the per-candidate
+        assignment core then consumes the engine RNG through the exact
+        scalar call sequence — one ``rng.shuffle`` of the request list
+        (the Fisher–Yates draws depend only on its length, so shuffling
+        group ids is word-identical to shuffling tokens) and one
+        ``rng.random()`` per eligible supplier in slot order — so
+        schedules, traces, and ``rng.getstate()`` after the step are all
+        byte-identical to :meth:`propose`.  Returns ``None`` (scalar
+        fallback) for foreign kernels or empty universes.
+        """
+        problem = self.problem
+        if state.problem is not problem or problem.num_tokens == 0:
+            return None
+        np = state.np
+        tables = self._vec_tables
+        if tables is None:
+            tables = self._vec_tables = build_in_tables(state)
+        grouped = grouped_requests(state, tables)
+        if grouped is None:
+            return empty_vector_proposal(np)
+        rng = self.rng
+        rng_random = rng.random
+        need_counts = state.token_demand()
+        holder_counts = state.holder_counts
+        nv = problem.num_vertices
+        rank = [
+            holder_counts[t] * (nv + 1) + (nv - need_counts[t])
+            for t in range(problem.num_tokens)
+        ]
+        # Per-request ranks, gathered once for the whole step: the
+        # per-candidate sorts below key on group ids, so the shuffle
+        # permutes ``range(gs, ge)`` (identical word consumption — the
+        # Fisher–Yates stream depends only on length) and the stable
+        # sort sees the same key sequence the scalar token sort does.
+        grank: List[int] = np.array(rank, dtype=np.int64)[
+            grouped.tokens_arr
+        ].tolist()
+        rank_of = grank.__getitem__
+        sup_caps = self._sup_caps
+        starts = tables.starts
+        group_ranges = grouped.group_ranges
+        g_tok = grouped.tokens
+        g_hs = grouped.holder_start
+        g_he = grouped.holder_end
+        slots = grouped.slots
+        asg_pos: List[int] = []
+        asg_tok: List[int] = []
+        pos_append = asg_pos.append
+        tok_append = asg_tok.append
+        for r, v in enumerate(grouped.cand):
+            gs = group_ranges[r]
+            ge = group_ranges[r + 1]
+            order = list(range(gs, ge))
+            rng.shuffle(order)
+            order.sort(key=rank_of)
+            budgets = sup_caps[v].copy()
+            remaining = sum(budgets)
+            base = starts[v]
+            for g in order:
+                if not remaining:
+                    break
+                # The scalar supplier-max verbatim: one draw per
+                # eligible holder in slot order, lexicographic
+                # (budget, r) max, first wins ties.
+                best_i = -1
+                best_b = -1
+                best_r = 0.0
+                for i in slots[g_hs[g] : g_he[g]]:
+                    b = budgets[i]
+                    if b > 0:
+                        rr = rng_random()
+                        if b > best_b or (b == best_b and rr > best_r):
+                            best_i = i
+                            best_b = b
+                            best_r = rr
+                if best_i < 0:
+                    continue
+                budgets[best_i] -= 1
+                remaining -= 1
+                pos_append(base + best_i)
+                tok_append(g_tok[g])
+        return pack_assignments(state, tables, asg_pos, asg_tok)

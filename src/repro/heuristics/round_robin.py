@@ -20,12 +20,17 @@ per-token scan, with identical picks and cursor movement.
 
 Because the strategy is completely RNG-free and per-arc independent, it
 is the flagship client of the batch kernel's vector proposal path:
-:meth:`RoundRobinHeuristic.propose_vector` runs the same rotate/strip
-lap for *every arc at once* on the kernel's uint64 possession plane,
-replacing the per-arc Python loop with a fixed number of whole-array
-ops.  The picks and cursor movement are bit-identical to the scalar
-lap (token universes beyond one 64-bit plane fall back to the scalar
-path), so schedules match the dict path byte for byte.
+:meth:`RoundRobinHeuristic.propose_vector` runs every arc's lap at once
+on the kernel's bitplane possession matrix, replacing the per-arc
+Python loop with a fixed number of whole-array ops.  Instead of
+rotating (which would need cross-plane shifts), the vector lap splits
+each owned row at the cursor — tokens at-or-above the cursor are the
+first stretch of the circular queue, tokens below it the wrap-around —
+takes the capacity lowest members of each part in turn, and lands the
+cursor one past the last picked token.  The picks and cursor movement
+are bit-identical to the scalar rotation for any number of planes, so
+>64-token universes ride the vector path too and schedules match the
+dict path byte for byte.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic
 from repro.sim import Proposal, StepContext
 from repro.sim.batch import BatchState, VectorProposal
+from repro.sim.bitplanes import highbit_rows, lowmask_rows, popcount_rows, take_rows
 
 __all__ = ["RoundRobinHeuristic"]
 
@@ -92,58 +98,52 @@ class RoundRobinHeuristic(Heuristic):
         return sends
 
     def propose_vector(self, state: BatchState) -> Optional[VectorProposal]:
-        """All arcs' laps at once on the batch kernel's possession plane.
+        """All arcs' laps at once on the batch kernel's bitplane matrix.
 
         Mirrors :meth:`propose` exactly: arcs whose owners hold fewer
         tokens than the arc capacity ship everything and keep their
-        cursor; the rest rotate their owned mask down by the cursor,
-        strip the ``capacity`` lowest set bits, and advance the cursor
-        one past the last picked token.  Rotation shifts stay below 64
-        only while the whole universe fits one plane with a spare bit,
-        so ``m > 63`` (or an empty universe) returns ``None`` and the
-        engine permanently falls back to the scalar path for the run.
+        cursor; the rest take the next ``capacity`` owned tokens in
+        circular-queue order and advance the cursor one past the last
+        pick.  The rotation is decomposed plane-safely: the rotated
+        mask's low bits are the owned tokens at-or-above the cursor
+        (ascending), followed by the wrap-around tokens below it, so
+        taking the capacity lowest members of those two splits in order
+        reproduces the scalar ``rot``/strip lap for any plane count.
+        The scalar cursor update ``(cursor + prefix.bit_length()) % m``
+        telescopes to ``(last_token + 1) % m`` in both the wrapped and
+        unwrapped cases, which is what the split computes.
         """
         m = self.problem.num_tokens
-        if m == 0 or m > 63 or state.planes != 1:
+        if m == 0:
             return None
         np = state.np
         caps = state.arc_cap
         cursor = self._vec_cursor
         if cursor is None:
-            cursor = self._vec_cursor = np.zeros(len(caps), dtype=np.uint64)
-        owned = state.matrix[state.arc_src, 0]
-        one = np.uint64(1)
-        zero = np.uint64(0)
-        m_u = np.uint64(m)
-        full = np.uint64((1 << m) - 1)
-        counts = np.bitwise_count(owned).astype(np.int64)
+            cursor = self._vec_cursor = np.zeros(len(caps), dtype=np.int64)
+        matrix = state.matrix
+        owned = matrix[state.arc_src]
+        counts = popcount_rows(owned)
         # capacity >= 1 always, so a "hard" (cursor-advancing) arc has a
         # nonzero owner; everything else ships its whole owned set (which
         # is empty for ownerless arcs) and leaves its cursor alone.
         hard = counts >= caps
-        rot = ((owned >> cursor) | (owned << (m_u - cursor))) & full
-        prefix = np.zeros_like(owned)
-        rest = rot.copy()
-        last_low = np.zeros_like(owned)
-        for k in range(int(caps.max(initial=0))):
-            taking = hard & (caps > k)
-            if not taking.any():
-                break
-            low = rest & ~(rest - one)
-            low = np.where(taking, low, zero)
-            prefix |= low
-            rest ^= low
-            last_low = np.where(low != zero, low, last_low)
-        # The cursor lands one past the last picked token; the last pick
-        # is the highest bit of the rotated prefix, so its bit length is
-        # popcount(last_low - 1) + 1.
-        advance = np.where(
-            last_low != zero,
-            np.bitwise_count(last_low - one).astype(np.uint64) + one,
-            zero,
-        )
-        self._vec_cursor = np.where(hard, (cursor + advance) % m_u, cursor)
-        chosen = ((prefix << cursor) | (prefix >> (m_u - cursor))) & full
-        send = np.where(hard, chosen, owned)
-        nonzero = np.nonzero(send)[0]
-        return VectorProposal(arc_indices=nonzero, masks=send[nonzero])
+        below = lowmask_rows(cursor, state.planes)
+        ahead = owned & ~below  # tokens >= cursor: the lap's first stretch
+        wrap = owned & below  # tokens < cursor: the wrap-around
+        ahead_counts = popcount_rows(ahead)
+        quota = np.where(hard, caps, 0)
+        picked_ahead = take_rows(ahead, quota)
+        picked_wrap = take_rows(wrap, np.maximum(quota - ahead_counts, 0))
+        chosen = picked_ahead | picked_wrap
+        # Last pick in queue order: the highest wrap pick if any,
+        # else the highest ahead pick (hard rows always pick >= 1).
+        last_wrap = highbit_rows(picked_wrap)
+        last = np.where(last_wrap >= 0, last_wrap, highbit_rows(picked_ahead))
+        self._vec_cursor = np.where(hard, (last + 1) % m, cursor)
+        send = np.where(hard[:, None], chosen, owned)
+        nonzero = np.nonzero(send.any(axis=1))[0]
+        masks = send[nonzero]
+        if state.planes == 1:
+            masks = masks[:, 0]
+        return VectorProposal(arc_indices=nonzero, masks=masks)

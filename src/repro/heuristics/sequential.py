@@ -20,11 +20,19 @@ the pre-rewrite implementation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.tokenset import TokenSet
 from repro.heuristics.base import Heuristic
+from repro.heuristics.vector_common import (
+    InArcTables,
+    build_in_tables,
+    empty_vector_proposal,
+    grouped_requests,
+)
 from repro.sim import Proposal, StepContext
+from repro.sim.batch import BatchState, VectorProposal
+from repro.sim.bitplanes import masks_to_matrix
 
 __all__ = ["SequentialHeuristic"]
 
@@ -44,6 +52,7 @@ class SequentialHeuristic(Heuristic):
             self._sup_srcs.append([arc.src for arc in in_arcs])
             self._sup_keys.append([(arc.src, arc.dst) for arc in in_arcs])
             self._sup_caps.append([arc.capacity for arc in in_arcs])
+        self._vec_tables: Optional[InArcTables] = None
 
     def propose(self, ctx: StepContext) -> Proposal:
         problem = ctx.problem
@@ -103,3 +112,79 @@ class SequentialHeuristic(Heuristic):
                 key = keys[best_i]
                 sends[key] = sends.get(key, 0) | low
         return {key: TokenSet(mask) for key, mask in sends.items()}
+
+    def propose_vector(self, state: BatchState) -> Optional[VectorProposal]:
+        """The in-order step as batched arrays.
+
+        Same batched receiver screen as the Local heuristic's vector
+        path (:mod:`repro.heuristics.vector_common`), without the
+        shuffle or rarest sort: requests are served token-ascending, the
+        scalar loop's order.  Supplier draws consume the engine RNG
+        through the exact scalar call sequence — one ``rng.random()``
+        per eligible holder in slot order — and the per-arc dict
+        insertion order (chronological first assignment) is reproduced
+        by tracking first-touched slots.
+        """
+        problem = self.problem
+        if state.problem is not problem or problem.num_tokens == 0:
+            return None
+        np = state.np
+        tables = self._vec_tables
+        if tables is None:
+            tables = self._vec_tables = build_in_tables(state)
+        grouped = grouped_requests(state, tables)
+        if grouped is None:
+            return empty_vector_proposal(np)
+        rng_random = self.rng.random
+        sup_caps = self._sup_caps
+        arc_ids = tables.arc_ids
+        starts = tables.starts
+        group_ranges = grouped.group_ranges
+        g_tok = grouped.tokens
+        g_hs = grouped.holder_start
+        g_he = grouped.holder_end
+        slots = grouped.slots
+        out_idx: List[int] = []
+        out_masks: List[int] = []
+        for r, v in enumerate(grouped.cand):
+            gs = group_ranges[r]
+            ge = group_ranges[r + 1]
+            budgets = sup_caps[v].copy()
+            remaining = sum(budgets)
+            accum = [0] * len(budgets)
+            touched: List[int] = []
+            for g in range(gs, ge):  # tokens ascending: lowest-indexed first
+                if not remaining:
+                    break
+                # The scalar supplier-max verbatim: one draw per
+                # eligible holder in slot order, lexicographic
+                # (budget, r) max, first wins ties.
+                best_i = -1
+                best_b = -1
+                best_r = 0.0
+                for i in slots[g_hs[g] : g_he[g]]:
+                    b = budgets[i]
+                    if b > 0:
+                        rr = rng_random()
+                        if b > best_b or (b == best_b and rr > best_r):
+                            best_i = i
+                            best_b = b
+                            best_r = rr
+                if best_i < 0:
+                    continue
+                budgets[best_i] -= 1
+                remaining -= 1
+                if not accum[best_i]:
+                    touched.append(best_i)
+                accum[best_i] |= 1 << g_tok[g]
+            base = starts[v]
+            for i in touched:
+                out_idx.append(arc_ids[base + i])
+                out_masks.append(accum[i])
+        arc_indices = np.array(out_idx, dtype=np.int64)
+        masks: Any
+        if state.planes == 1:
+            masks = np.array(out_masks, dtype=np.uint64)
+        else:
+            masks = masks_to_matrix(out_masks, problem.num_tokens)
+        return VectorProposal(arc_indices=arc_indices, masks=masks)

@@ -134,6 +134,12 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
                 "total_deficit": "int",
                 "instance": "dict",
             },
+            optional={
+                # Bitplane count of the token universe (ceil(tokens/64));
+                # lets trace analytics spot multi-plane runs without
+                # re-deriving it from ``tokens``.
+                "planes": "int",
+            },
         ),
         EventSchema(
             kind="step",

@@ -17,7 +17,7 @@ loops used to run:
   comparison over all arcs;
 * :meth:`validate_vector` — batched capacity/possession validation of a
   :class:`VectorProposal` (the engine's fast path for heuristics that
-  can propose as arrays, currently Round-Robin).
+  can propose as arrays — all four paper heuristics).
 
 The matrix is synced *lazily* from the inherited gain journal: a run
 that never touches a batched read (e.g. the LOCD runner) pays nothing
@@ -30,8 +30,9 @@ schedules and JSONL traces byte-identical to :class:`SimState` and the
 frozen oracle in :mod:`repro.sim.reference` on every supported
 configuration (``tests/sim/test_batch_equivalence.py``).  The batched
 reads return the same *values* the scalar loops compute, so heuristics
-consume their RNG streams identically; the vector proposal path is
-restricted to RNG-free heuristics.
+consume their RNG streams identically; RNG-bound vector proposal paths
+call the engine RNG directly, in the exact order their scalar loops
+do, so ``rng.getstate()`` agrees after every step.
 
 Kernel selection is centralized in :func:`resolve_kernel`: ``"state"``
 (the default everywhere), ``"batch"`` (raises
@@ -43,7 +44,7 @@ Kernel selection is centralized in :func:`resolve_kernel`: ``"state"``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.problem import Problem
 from repro.core.schedule import Timestep
@@ -54,6 +55,8 @@ from repro.sim.bitplanes import (
     masks_to_matrix,
     matrix_to_masks,
     plane_count,
+    planes_to_mask,
+    popcount_cols,
     require_numpy,
 )
 from repro.sim.engine import HeuristicViolation
@@ -83,16 +86,20 @@ KernelChoice = Union[str, KernelFactory, None]
 class VectorProposal:
     """One timestep's sends as parallel arrays instead of a dict.
 
-    ``arc_indices`` indexes into ``problem.arcs`` in **increasing
-    order** — the same order a scalar heuristic inserts sends into its
-    proposal dict — and ``masks`` holds the corresponding single-plane
-    send bitmasks (the vector path is limited to token universes that
-    fit one uint64 plane).  Rows with empty masks must be omitted,
-    mirroring the dict path's validation dropping empty sends.
+    ``arc_indices`` indexes into ``problem.arcs`` in the **order the
+    scalar heuristic inserts sends into its proposal dict** (ascending
+    arc index for Round-Robin and Random; per-vertex supplier order for
+    the request-subdividing heuristics) — the lazy timestep and the
+    arrival fold preserve it, so dict iteration order downstream matches
+    the scalar path exactly.  ``masks`` holds the send bitmasks, either
+    a ``(K,)`` uint64 vector for single-plane universes or a
+    ``(K, planes)`` uint64 matrix (:mod:`repro.sim.bitplanes` layout)
+    for universes beyond 64 tokens.  Rows with empty masks must be
+    omitted, mirroring the dict path's validation dropping empty sends.
     """
 
-    arc_indices: Any  # (K,) integer ndarray
-    masks: Any  # (K,) uint64 ndarray, all nonzero
+    arc_indices: Any  # (K,) integer ndarray, scalar dict-insertion order
+    masks: Any  # (K,) uint64 or (K, planes) uint64 ndarray, rows nonzero
 
 
 class _LazyVectorTimestep(Timestep):
@@ -103,9 +110,14 @@ class _LazyVectorTimestep(Timestep):
     send back into the hot path just to store the schedule.  Instead the
     index/mask arrays are kept and the dict is built on first ``sends``
     access (trace emission, pruning, equality — all off the hot path),
-    in ascending arc order, exactly as the eager validator inserts it.
+    in proposal order, exactly as the eager validator inserts it.
     ``num_moves`` is precomputed from a popcount so schedule bandwidth
-    never forces materialization.
+    never forces materialization, and :meth:`iter_sends_masks` streams
+    the sends in bounded chunks so schedule comparison at the 10^5-swarm
+    scale never holds two materialized dicts at once.
+
+    ``masks`` follows the :class:`VectorProposal` shape contract: a
+    ``(K,)`` uint64 vector (single plane) or a ``(K, planes)`` matrix.
     """
 
     __slots__ = ("_keys", "_idx", "_masks", "_moves")
@@ -122,16 +134,51 @@ class _LazyVectorTimestep(Timestep):
         self._masks = masks
         self._moves = moves
 
+    def _mask_ints(self, lo: int, hi: int) -> List[int]:
+        """Rows ``lo:hi`` of the mask array as Python int bitmasks."""
+        masks = self._masks
+        if masks.ndim == 1:
+            out: List[int] = masks[lo:hi].tolist()
+            return out
+        return matrix_to_masks(masks[lo:hi])
+
     def __getattr__(self, name: str) -> Any:
         if name == "sends":
             keys = self._keys
             sends = {
                 keys[i]: TokenSet(mask)
-                for i, mask in zip(self._idx.tolist(), self._masks.tolist())
+                for i, mask in zip(self._idx.tolist(), self._mask_ints(0, len(self._idx)))
             }
             self.sends = sends
             return sends
         raise AttributeError(name)
+
+    def iter_sends_masks(
+        self, chunk: int = 1 << 16
+    ) -> Iterator[Tuple[Tuple[int, int], int]]:
+        """Yield ``((src, dst), mask)`` sends in proposal order, chunked.
+
+        Unlike a ``sends`` access this never caches the dict: each chunk
+        of rows is converted, yielded, and dropped, so comparing two
+        n=10^5 schedules streams in O(chunk) extra memory per side.  If
+        the dict was already materialized it is reused directly.
+        """
+        sends_slot = Timestep.__dict__["sends"]
+        try:
+            sends = sends_slot.__get__(self, type(self))
+        except AttributeError:
+            pass
+        else:
+            for key, tokens in sends.items():
+                yield key, tokens.mask
+            return
+        keys = self._keys
+        idx = self._idx
+        for lo in range(0, len(idx), chunk):
+            hi = lo + chunk
+            ids: List[int] = idx[lo:hi].tolist()
+            for i, mask in zip(ids, self._mask_ints(lo, hi)):
+                yield keys[i], mask
 
     def num_moves(self) -> int:
         return self._moves
@@ -157,10 +204,15 @@ class BatchState(SimState):
         "_in_gather",
         "_in_starts",
         "_in_dsts",
+        "_in_dsts_arr",
         "_supply_cache",
         "_supply_version",
+        "_supply_mat_cache",
+        "_supply_mat_version",
         "_useful_cache",
         "_useful_version",
+        "_want_mat",
+        "_arrival_fold",
     )
 
     #: Engines probe this (via getattr, to avoid importing numpy-adjacent
@@ -185,10 +237,18 @@ class BatchState(SimState):
         self._in_gather: Any = None
         self._in_starts: Any = None
         self._in_dsts: Optional[List[int]] = None
+        self._in_dsts_arr: Any = None
         self._supply_cache: Optional[List[int]] = None
         self._supply_version = -1
+        self._supply_mat_cache: Any = None
+        self._supply_mat_version = -1
         self._useful_cache = False
         self._useful_version = -1
+        self._want_mat: Any = None
+        # The last validate_vector arrival fold, kept as arrays so
+        # apply_arrivals can skip the dict/bigint round trip when the
+        # engine hands the same dict straight back.
+        self._arrival_fold: Optional[Tuple[Dict[int, int], Any, Any]] = None
 
     # ------------------------------------------------------------------
     # Matrix mirror
@@ -257,43 +317,218 @@ class BatchState(SimState):
     # ------------------------------------------------------------------
     # Batched reads
     # ------------------------------------------------------------------
-    def in_supply_masks(self) -> List[int]:
-        """Per-vertex union of in-neighbor possession, as int bitmasks.
+    def _ensure_in_groups(self) -> None:
+        """Build the dst-grouped in-arc gather tables on first use."""
+        if self._in_dsts is not None:
+            return
+        np = self.np
+        self._ensure_arc_arrays()
+        if len(self._arc_keys or []) == 0:
+            self._in_dsts = []
+            return
+        order = np.argsort(self._arc_dst, kind="stable")
+        dsts, starts = np.unique(self._arc_dst[order], return_index=True)
+        self._in_gather = self._arc_src[order]
+        self._in_starts = starts
+        self._in_dsts = [int(d) for d in dsts]
+        self._in_dsts_arr = dsts
 
-        ``out[v]`` equals ``OR(possession_masks[src] for arcs src -> v)``
-        — the supply scan every request-subdividing heuristic runs per
-        vertex per step — computed for all vertices at once with one
-        gather and one grouped-OR reduction.  Cached per state version,
+    def in_supply_matrix(self) -> Any:
+        """Per-vertex union of in-neighbor possession as a ``(V, P)`` matrix.
+
+        Row ``v`` is the plane image of
+        ``OR(possession_masks[src] for arcs src -> v)`` — the supply
+        scan every request-subdividing heuristic runs per vertex per
+        step — computed for all vertices at once with one gather and one
+        grouped-OR reduction.  Cached per state version.  Callers must
+        not mutate the returned array.
+        """
+        version = self.version
+        cached = self._supply_mat_cache
+        if cached is not None and self._supply_mat_version == version:
+            return cached
+        np = self.np
+        matrix = self.matrix
+        out = np.zeros_like(matrix)
+        self._ensure_in_groups()
+        if self._in_dsts:
+            unions = np.bitwise_or.reduceat(
+                matrix[self._in_gather], self._in_starts, axis=0
+            )
+            out[self._in_dsts_arr] = unions
+        self._supply_mat_cache = out
+        self._supply_mat_version = version
+        return out
+
+    def in_supply_masks(self) -> List[int]:
+        """The :meth:`in_supply_matrix` rows as per-vertex int bitmasks.
+
+        The value the scalar heuristics' per-vertex supply union loop
+        computes, for all vertices at once.  Cached per state version,
         so repeated reads within a quiescent state are free.
         """
         version = self.version
         cached = self._supply_cache
         if cached is not None and self._supply_version == version:
             return cached
-        np = self.np
-        matrix = self.matrix
-        out = [0] * self.problem.num_vertices
-        if self._in_dsts is None:
-            self._ensure_arc_arrays()
-            if len(self._arc_keys or []) == 0:
-                self._in_dsts = []
-            else:
-                order = np.argsort(self._arc_dst, kind="stable")
-                dsts, starts = np.unique(
-                    self._arc_dst[order], return_index=True
-                )
-                self._in_gather = self._arc_src[order]
-                self._in_starts = starts
-                self._in_dsts = [int(d) for d in dsts]
-        if self._in_dsts:
-            unions = np.bitwise_or.reduceat(
-                matrix[self._in_gather], self._in_starts, axis=0
-            )
-            for dst, mask in zip(self._in_dsts, matrix_to_masks(unions)):
-                out[dst] = mask
+        out = matrix_to_masks(self.in_supply_matrix())
         self._supply_cache = out
         self._supply_version = version
         return out
+
+    def token_demand(self) -> List[int]:
+        """Per-token demand, materialised from the matrix in one pass.
+
+        Same integers as the base kernel's O(V * m) per-bit scan —
+        column popcounts of ``want & ~possession`` are exact — after
+        which the inherited gain fold maintains the list in place.
+        """
+        if self._token_deficit is None:
+            want = masks_to_matrix(self._want_masks, self.problem.num_tokens)
+            self._token_deficit = popcount_cols(want & ~self.matrix)[
+                : self.problem.num_tokens
+            ]
+        return self._token_deficit
+
+    #: Below this many destination gains, the base class's per-bit fold
+    #: beats the array round trip of the vectorized arrival fold.
+    _VECTOR_ARRIVALS_MIN = 16
+
+    def _want_matrix(self) -> Any:
+        """The per-vertex want masks as a cached ``(V, P)`` matrix."""
+        if self._want_mat is None:
+            self._want_mat = masks_to_matrix(
+                self._want_masks, self.problem.num_tokens
+            )
+        return self._want_mat
+
+    def _apply_fold(self, dsts_arr: Any, folded: Any) -> None:
+        """Apply a validate_vector arrival fold straight from its arrays.
+
+        Row ``k`` of ``folded`` is the arrival mask of ``dsts_arr[k]``,
+        in first-encounter order — the exact dict the base class would
+        iterate, so journal order and every derived tally match the
+        scalar fold bit for bit.  Gains, wanted counts, and the matrix
+        scatter are computed vectorized; only the per-destination list
+        updates remain Python.
+        """
+        np = self.np
+        matrix = self.matrix  # sync before scattering below
+        gained = folded & ~matrix[dsts_arr]
+        nonzero = gained.any(axis=1)
+        if not nonzero.all():
+            keep = np.nonzero(nonzero)[0]
+            dsts_arr = dsts_arr[keep]
+            gained = gained[keep]
+        if dsts_arr.size == 0:
+            return
+        wanted = gained & self._want_matrix()[dsts_arr]
+        wanted_counts = np.bitwise_count(wanted).sum(axis=1, dtype=np.int64)
+        gained_ints = matrix_to_masks(gained)
+        possession_masks = self.possession_masks
+        possession = self.possession
+        deficit = self.deficit
+        journal = self._journal
+        track_dirty = self._arc_useful is not None
+        dirty_flags = self._dirty_flags
+        dirty = self._dirty
+        for dst, g, c in zip(
+            dsts_arr.tolist(), gained_ints, wanted_counts.tolist()
+        ):
+            new_mask = possession_masks[dst] | g
+            possession_masks[dst] = new_mask
+            possession[dst] = TokenSet(new_mask)
+            if c:
+                deficit[dst] -= c
+            journal.append((dst, g))
+            if track_dirty and not dirty_flags[dst]:
+                dirty_flags[dst] = 1
+                dirty.append(dst)
+        self.total_deficit -= int(wanted_counts.sum())
+        num_tokens = self.problem.num_tokens
+        holder_counts = self.holder_counts
+        for t, c in enumerate(popcount_cols(gained)[:num_tokens]):
+            if c:
+                holder_counts[t] += c
+        token_deficit = self._token_deficit
+        if token_deficit is not None:
+            for t, c in enumerate(popcount_cols(wanted)[:num_tokens]):
+                if c:
+                    token_deficit[t] -= c
+        # The journal entries above are already reflected in the rows
+        # scattered here, so the lazy sync can skip them.
+        matrix[dsts_arr] |= gained
+        self._matrix_version = len(journal)
+
+    def apply_arrivals(self, arrivals: Dict[int, int]) -> None:
+        """Batched arrival fold: per-token tallies as column popcounts.
+
+        When ``arrivals`` is the dict the last :meth:`validate_vector`
+        call built, the fold's arrays are reused directly
+        (:meth:`_apply_fold`) and the dict is never touched.  Otherwise
+        the per-destination bookkeeping (possession masks, deficits,
+        journal, dirty tracking) stays a Python loop — one big-int op
+        per destination, in the exact order the base class applies
+        gains — but the per-*bit* loops that update ``holder_counts``
+        and the demand vector are replaced by column popcounts over the
+        step's gained-token matrix, so their cost is proportional to
+        matrix bytes, not gained tokens times Python-loop overhead.
+        """
+        fold = self._arrival_fold
+        if fold is not None and fold[0] is arrivals:
+            self._arrival_fold = None
+            self._apply_fold(fold[1], fold[2])
+            return
+        if len(arrivals) < self._VECTOR_ARRIVALS_MIN:
+            super().apply_arrivals(arrivals)
+            return
+        possession_masks = self.possession_masks
+        possession = self.possession
+        want_masks = self._want_masks
+        journal = self._journal
+        deficit = self.deficit
+        track_dirty = self._arc_useful is not None
+        dirty_flags = self._dirty_flags
+        dirty = self._dirty
+        gained_list: List[int] = []
+        wanted_list: List[int] = []
+        total_wanted = 0
+        for dst, mask in arrivals.items():
+            prev = possession_masks[dst]
+            gained = mask & ~prev
+            if not gained:
+                continue
+            new_mask = prev | gained
+            possession_masks[dst] = new_mask
+            possession[dst] = TokenSet(new_mask)
+            newly_wanted = gained & want_masks[dst]
+            if newly_wanted:
+                c = newly_wanted.bit_count()
+                deficit[dst] -= c
+                total_wanted += c
+            journal.append((dst, gained))
+            if track_dirty and not dirty_flags[dst]:
+                dirty_flags[dst] = 1
+                dirty.append(dst)
+            gained_list.append(gained)
+            wanted_list.append(newly_wanted)
+        if not gained_list:
+            return
+        self.total_deficit -= total_wanted
+        num_tokens = self.problem.num_tokens
+        holder_counts = self.holder_counts
+        gained_cols = popcount_cols(masks_to_matrix(gained_list, num_tokens))
+        for t, c in enumerate(gained_cols[:num_tokens]):
+            if c:
+                holder_counts[t] += c
+        token_deficit = self._token_deficit
+        if token_deficit is not None and total_wanted:
+            wanted_cols = popcount_cols(
+                masks_to_matrix(wanted_list, num_tokens)
+            )
+            for t, c in enumerate(wanted_cols[:num_tokens]):
+                if c:
+                    token_deficit[t] -= c
 
     def any_useful_arc(self) -> bool:
         """Vectorized stall test: one comparison over all arcs at once.
@@ -340,7 +575,11 @@ class BatchState(SimState):
         assert arc_keys is not None
         idx = vec.arc_indices
         masks = vec.masks
-        counts = np.bitwise_count(masks).astype(np.int64)
+        multi = masks.ndim == 2
+        if multi:
+            counts = np.bitwise_count(masks).sum(axis=1, dtype=np.int64)
+        else:
+            counts = np.bitwise_count(masks).astype(np.int64)
         caps = self._arc_cap[idx]
         over = counts > caps
         if over.any():
@@ -351,13 +590,16 @@ class BatchState(SimState):
                 f"{int(counts[i])} tokens on arc ({src}, {dst}) of capacity "
                 f"{int(caps[i])}"
             )
-        owned = self.matrix[self._arc_src[idx], 0]
-        bad = masks & ~owned
-        nonzero_bad = bad != 0
-        if nonzero_bad.any():
-            i = int(np.argmax(nonzero_bad))
+        if multi:
+            bad = masks & ~self.matrix[self._arc_src[idx]]
+            bad_rows = bad.any(axis=1)
+        else:
+            bad = masks & ~self.matrix[self._arc_src[idx], 0]
+            bad_rows = bad != 0
+        if bad_rows.any():
+            i = int(np.argmax(bad_rows))
             src, _dst = arc_keys[int(idx[i])]
-            missing = TokenSet(int(bad[i]))
+            missing = TokenSet(planes_to_mask(bad[i]) if multi else int(bad[i]))
             raise HeuristicViolation(
                 f"step {step}: heuristic {heuristic_name!r} sent tokens "
                 f"{sorted(missing)} that vertex {src} does not possess"
@@ -365,15 +607,37 @@ class BatchState(SimState):
         arrivals: Dict[int, int] = {}
         if len(idx):
             # Per-destination arrival masks as one grouped OR over the
-            # dst-sorted sends.  Arrival *values* are exactly what the
-            # eager dict fold computes; dict order differs (ascending
-            # dst vs first-encounter), which no consumer observes — the
-            # journal fold and trace emission are order-insensitive.
+            # dst-sorted sends, re-emitted in first-encounter order: the
+            # stable sort keeps each destination group's earliest send
+            # first, so ``order[starts]`` is the proposal position where
+            # each destination first appears, and sorting the groups by
+            # it reproduces the eager fold's dict insertion order
+            # exactly — arrival values *and* order match the scalar
+            # validator, so journal replay stays bit- and order-
+            # identical between kernels.
             dsts = self._arc_dst[idx]
             order = np.argsort(dsts, kind="stable")
             udst, starts = np.unique(dsts[order], return_index=True)
-            grouped = np.bitwise_or.reduceat(masks[order], starts)
-            arrivals = dict(zip(udst.tolist(), grouped.tolist()))
+            grouped = np.bitwise_or.reduceat(masks[order], starts, axis=0)
+            encounter = np.argsort(order[starts], kind="stable")
+            folded = grouped[encounter]
+            arr_masks: List[int] = (
+                matrix_to_masks(folded) if multi else folded.tolist()
+            )
+            arrivals = dict(zip(udst[encounter].tolist(), arr_masks))
+            # Keep the fold as arrays: when the engine hands this dict
+            # straight to apply_arrivals, the fold path skips the
+            # dict/bigint round trip entirely.  The handshake is only
+            # sound if nothing can touch the dict in between, so a
+            # subclass overriding validate_vector (the seeded-fault
+            # hook) stays on the dict-driven path and its mutations
+            # remain authoritative.
+            if type(self).validate_vector is BatchState.validate_vector:
+                self._arrival_fold = (
+                    arrivals,
+                    udst[encounter],
+                    folded if multi else folded[:, None],
+                )
         timestep = _LazyVectorTimestep(
             arc_keys, idx, masks, int(counts.sum())
         )

@@ -52,7 +52,10 @@ __all__ = [
     "planes_intersection",
     "planes_difference",
     "popcount_rows",
+    "popcount_cols",
     "take_rows",
+    "lowmask_rows",
+    "highbit_rows",
 ]
 
 _PLANE_BITS = 64
@@ -125,14 +128,26 @@ def planes_to_mask(row: Sequence[int]) -> int:
 
 
 def masks_to_matrix(masks: Sequence[int], num_tokens: int) -> PlaneArray:
-    """Pack per-vertex int bitmasks into a dense ``(V, P)`` uint64 matrix."""
+    """Pack per-vertex int bitmasks into a dense ``(V, P)`` uint64 matrix.
+
+    One ``int.to_bytes`` per row plus a single buffer reinterpretation —
+    no per-plane Python arithmetic — so packing a proposal's worth of
+    send masks (or an n=10^5 possession vector) stays a small fraction
+    of the batched work it feeds.
+    """
     np = require_numpy()
     planes = plane_count(num_tokens)
-    matrix = np.zeros((len(masks), planes), dtype=np.uint64)
-    for v, mask in enumerate(masks):
-        for p, plane in enumerate(mask_to_planes(mask, planes)):
-            matrix[v, p] = plane
-    return matrix
+    nbytes = planes * _PLANE_BITS // 8
+    try:
+        buf = b"".join(mask.to_bytes(nbytes, "little") for mask in masks)
+    except OverflowError:
+        for mask in masks:
+            mask_to_planes(mask, planes)  # pinpoint the bad row
+        raise  # pragma: no cover — the offending row raised ValueError
+    matrix = np.frombuffer(bytearray(buf), dtype="<u8").astype(
+        np.uint64, copy=False
+    )
+    return matrix.reshape(len(masks), planes)
 
 
 def matrix_to_masks(matrix: PlaneArray) -> List[int]:
@@ -187,6 +202,27 @@ def popcount_rows(matrix: PlaneArray) -> PlaneArray:
     return np.bitwise_count(matrix).sum(axis=1, dtype=np.int64)
 
 
+def popcount_cols(matrix: PlaneArray) -> List[int]:
+    """Per-token column popcounts of a ``(V, P)`` matrix.
+
+    Entry ``t`` counts the rows whose bit ``t`` is set — the batched
+    form of the per-token tallies (holder counts, aggregate demand) the
+    scalar kernel maintains with per-bit Python loops.  The returned
+    list has ``64 * P`` entries; trailing entries beyond the universe
+    are zero by construction.
+    """
+    np = require_numpy()
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a (V, P) matrix, got shape {matrix.shape}")
+    bits = np.unpackbits(
+        matrix.view(np.uint8).reshape(matrix.shape[0], -1),
+        axis=1,
+        bitorder="little",
+    )
+    out: List[int] = bits.sum(axis=0, dtype=np.int64).tolist()
+    return out
+
+
 def take_rows(matrix: PlaneArray, counts: PlaneArray) -> PlaneArray:
     """Per-row lowest-``count`` members, mirroring :meth:`TokenSet.take`.
 
@@ -231,4 +267,56 @@ def take_rows(matrix: PlaneArray, counts: PlaneArray) -> PlaneArray:
             partial = taking
         out[:, p] |= acc
         remaining = np.maximum(remaining - pc, 0)
+    return out
+
+
+def lowmask_rows(counts: Any, planes: int) -> PlaneArray:
+    """Per-row mask of the lowest ``counts[v]`` token *positions*.
+
+    Row ``v`` of the result has bits ``0 .. counts[v] - 1`` set across
+    however many planes that takes — the plane image of
+    ``(1 << counts[v]) - 1``.  Used to split a possession row at a
+    cursor position (tokens below vs at-or-above the cursor) without
+    big-int shifts.  ``counts`` may be any integer array in
+    ``[0, 64 * planes]``.
+    """
+    np = require_numpy()
+    c = np.asarray(counts, dtype=np.int64)
+    if c.ndim != 1:
+        raise ValueError(f"expected 1-D counts, got shape {c.shape}")
+    if planes < 1:
+        raise ValueError(f"planes must be positive, got {planes}")
+    if (c < 0).any() or (c > _PLANE_BITS * planes).any():
+        raise ValueError(f"counts must lie in [0, {_PLANE_BITS * planes}]")
+    # Bits this row claims inside each plane: clip(c - 64p, 0, 64).
+    t = np.clip(
+        c[:, None] - _PLANE_BITS * np.arange(planes, dtype=np.int64)[None, :],
+        0,
+        _PLANE_BITS,
+    )
+    # (1 << t) - 1 for t < 64; the t == 64 full plane needs no shift.
+    shift = np.minimum(t, _PLANE_BITS - 1).astype(np.uint64)
+    partial = (np.uint64(1) << shift) - np.uint64(1)
+    return np.where(t == _PLANE_BITS, np.uint64(_PLANE_MASK), partial)
+
+
+def highbit_rows(matrix: PlaneArray) -> Any:
+    """Per-row index of the highest set bit, ``-1`` for all-zero rows.
+
+    The vectorized ``mask.bit_length() - 1``: per plane, a smear-right
+    fill turns the top set bit into a solid low mask whose popcount is
+    the bit length; the highest nonzero plane wins.  Returns int64.
+    """
+    np = require_numpy()
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a (V, P) matrix, got shape {matrix.shape}")
+    out = np.full(matrix.shape[0], -1, dtype=np.int64)
+    for p in range(matrix.shape[1] - 1, -1, -1):
+        plane = matrix[:, p]
+        smear = plane.copy()
+        for s in (1, 2, 4, 8, 16, 32):
+            smear |= smear >> np.uint64(s)
+        length = np.bitwise_count(smear).astype(np.int64)
+        hit = (out < 0) & (plane != 0)
+        out = np.where(hit, _PLANE_BITS * p + length - 1, out)
     return out

@@ -46,6 +46,7 @@ from repro.core.schedule import Schedule, Timestep
 from repro.core.tokenset import TokenSet
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, current_tracer
+from repro.sim.bitplanes import plane_count
 from repro.sim.state import SimState
 
 __all__ = [
@@ -221,6 +222,7 @@ def emit_run_start(
             "problem": problem.name,
             "n": problem.num_vertices,
             "tokens": problem.num_tokens,
+            "planes": plane_count(problem.num_tokens),
             "arcs": len(problem.arcs),
             "max_steps": max_steps,
             "total_deficit": state.total_deficit,

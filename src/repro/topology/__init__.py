@@ -15,7 +15,11 @@ from repro.topology.named import (
     path_topology,
     star_topology,
 )
-from repro.topology.random_graphs import paper_edge_probability, random_graph
+from repro.topology.random_graphs import (
+    paper_edge_probability,
+    random_graph,
+    sparse_random_graph,
+)
 from repro.topology.transit_stub import (
     TransitStubParams,
     params_for_size,
@@ -47,6 +51,7 @@ __all__ = [
     "params_for_size",
     "path_topology",
     "random_graph",
+    "sparse_random_graph",
     "star_topology",
     "transit_stub_graph",
     "uniform_capacity",

@@ -13,8 +13,9 @@ and to the frozen pre-kernel oracle in :mod:`repro.sim.reference`:
 
 The seeded grid sweeps topology families x token-universe sizes —
 including >64-token universes that spill into a second bitplane and
-force the vector proposal path to decline — for well over 100 instances,
-and a hypothesis property supplies shrinking when a divergence appears.
+exercise the multi-plane vector proposal path — for well over 100
+instances, and a hypothesis property supplies shrinking when a
+divergence appears.
 """
 
 from __future__ import annotations
@@ -34,7 +35,7 @@ from repro.heuristics.sequential import SequentialHeuristic
 from repro.locd import LocalRarest, StaleGreedy, run_local
 from repro.obs import JsonlTracer
 from repro.obs.analyze import diff_traces
-from repro.sim import MissingNumpyError, run_heuristic
+from repro.sim import Engine, MissingNumpyError, run_heuristic
 from repro.sim.batch import HAVE_NUMPY, BatchState, resolve_kernel
 from repro.sim.reference import (
     make_reference_heuristic,
@@ -49,14 +50,17 @@ needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
 ALL_HEURISTICS = tuple(HEURISTIC_FACTORIES) + ("sequential",)
 
 #: (max_vertices, max_tokens, instances) tiers; the 70-token tier spills
-#: into a second bitplane, so the vector path declines and the kernel's
-#: dict path carries the run.
+#: into a second bitplane, so the vector paths run on (rows, planes)
+#: mask matrices instead of flat mask vectors.
 GRID = (
     (8, 3, 40),
     (10, 12, 30),
     (12, 40, 20),
     (10, 70, 15),
 )
+
+#: Heuristics with a ``propose_vector`` fast path.
+VECTOR_HEURISTICS = ("round_robin", "random", "local", "sequential")
 
 
 def new_heuristic(name: str):
@@ -120,11 +124,14 @@ class TestEngineEquivalence:
             checked += 1
         assert checked >= 100  # the grid is the >=100-instance contract
 
-    def test_vector_path_actually_engages(self):
+    @pytest.mark.parametrize("name", VECTOR_HEURISTICS)
+    def test_vector_path_actually_engages(self, name):
         """Guard against silently falling back to the dict path."""
         calls = []
 
-        class CountingRoundRobin(HEURISTIC_FACTORIES["round_robin"]):
+        base = new_heuristic(name)
+
+        class Counting(type(base)):
             def propose_vector(self, state):
                 vec = super().propose_vector(state)
                 calls.append(vec is not None)
@@ -132,16 +139,18 @@ class TestEngineEquivalence:
 
         rng = random.Random(5)
         problem = make_random_problem(rng, max_vertices=10, max_tokens=10)
-        result = run_heuristic(
-            problem, CountingRoundRobin(), seed=9, kernel="batch"
-        )
-        assert calls and all(calls)
+        result = run_heuristic(problem, Counting(), seed=9, kernel="batch")
+        assert calls and all(calls), name
         assert len(calls) == result.makespan
 
-    def test_vector_path_declines_beyond_one_plane(self):
+    @pytest.mark.parametrize("name", VECTOR_HEURISTICS)
+    def test_vector_path_engages_beyond_one_plane(self, name):
+        """>64-token universes ride the vector path on mask matrices."""
         calls = []
 
-        class CountingRoundRobin(HEURISTIC_FACTORIES["round_robin"]):
+        base = new_heuristic(name)
+
+        class Counting(type(base)):
             def propose_vector(self, state):
                 vec = super().propose_vector(state)
                 calls.append(vec is not None)
@@ -151,15 +160,19 @@ class TestEngineEquivalence:
         problem = make_random_problem(rng, max_vertices=6, max_tokens=70)
         while problem.num_tokens <= 63:  # the grid draw must really spill
             problem = make_random_problem(rng, max_vertices=6, max_tokens=70)
-        state_run = run_heuristic(
-            problem, new_heuristic("round_robin"), seed=2, kernel="state"
-        )
-        batch_run = run_heuristic(
-            problem, CountingRoundRobin(), seed=2, kernel="batch"
-        )
-        # Declined once, then the engine never asks again.
-        assert calls == [False]
+        seed = 2
+        ra = random.Random(seed)
+        rb = random.Random(seed)
+        state_run = Engine(
+            problem, new_heuristic(name), rng=ra, kernel="state"
+        ).run()
+        batch_run = Engine(problem, Counting(), rng=rb, kernel="batch").run()
+        assert calls and all(calls), name
         assert signature(state_run.schedule) == signature(batch_run.schedule)
+        # RNG-stream exactness: the vector path consumed the exact same
+        # draws the scalar path did, so the engine RNGs land in the same
+        # final state even on multi-plane universes.
+        assert ra.getstate() == rb.getstate(), name
 
     @given(problems(max_vertices=8, max_tokens=6))
     @settings(max_examples=30, deadline=None)
@@ -185,7 +198,11 @@ class TestTraceEquivalence:
     def test_traces_byte_identical_vs_state(self, tmp_path):
         rng = random.Random(21)
         for i in range(12):
-            problem = make_random_problem(rng, max_vertices=10, max_tokens=10)
+            # Every third instance spills past 64 tokens so the
+            # multi-plane vector paths are trace-checked too.
+            problem = make_random_problem(
+                rng, max_vertices=10, max_tokens=70 if i % 3 == 0 else 10
+            )
             for name in ALL_HEURISTICS:
                 paths = {}
                 for kernel in ("state", "batch"):
@@ -236,6 +253,63 @@ class TestTraceEquivalence:
                 batch_path, oracle_path, ignore_fields=("engine",)
             )
             assert diff.identical, (i, diff.divergence)
+
+
+# ----------------------------------------------------------------------
+# Lazy vector timesteps: dict order pinned to the eager fold
+# ----------------------------------------------------------------------
+@needs_numpy
+class TestLazyTimestepOrder:
+    def test_lazy_order_matches_eager_fold(self):
+        """The lazy timestep's sends/arrivals reproduce eager dict order.
+
+        The arrivals fold groups by destination with ``reduceat`` and
+        must hand back destinations in *first-encounter* order — the
+        order the eager per-send fold would insert them — and
+        ``iter_sends_masks`` must stream sends in the proposal's dict
+        insertion order, chunk boundaries notwithstanding.
+        """
+        records = []
+
+        class Recording(BatchState):
+            def validate_vector(self, vec, heuristic_name, step):
+                timestep, arrivals = super().validate_vector(
+                    vec, heuristic_name, step
+                )
+                # Stream before materialization, tiny chunks on purpose.
+                lazy = list(timestep.iter_sends_masks(chunk=3))
+                eager = {}
+                for (src, dst), tokens in timestep.sends.items():
+                    prev = eager.get(dst)
+                    eager[dst] = (
+                        tokens.mask if prev is None else prev | tokens.mask
+                    )
+                sends = [
+                    (key, tokens.mask)
+                    for key, tokens in timestep.sends.items()
+                ]
+                records.append(
+                    (list(arrivals.items()), list(eager.items()), lazy, sends)
+                )
+                return timestep, arrivals
+
+        rng = random.Random(97)
+        for max_tokens in (10, 70):
+            for i in range(3):
+                problem = make_random_problem(
+                    rng, max_vertices=10, max_tokens=max_tokens
+                )
+                for name in VECTOR_HEURISTICS:
+                    run_heuristic(
+                        problem,
+                        new_heuristic(name),
+                        seed=50 + i,
+                        kernel=Recording,
+                    )
+        assert records
+        for arrivals, eager, lazy, sends in records:
+            assert arrivals == eager  # same pairs, same insertion order
+            assert lazy == sends
 
 
 # ----------------------------------------------------------------------

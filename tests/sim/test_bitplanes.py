@@ -28,6 +28,8 @@ if HAVE_NUMPY:
     import numpy as np
 
     from repro.sim.bitplanes import (
+        highbit_rows,
+        lowmask_rows,
         masks_to_matrix,
         matrix_to_masks,
         matrix_to_tokensets,
@@ -228,6 +230,46 @@ class TestTakeRows:
         matrix = masks_to_matrix([3, 1], 2)
         with pytest.raises(ValueError):
             take_rows(matrix, np.array([1], dtype=np.int64))
+
+
+@needs_numpy
+class TestLowmaskRows:
+    def test_edges(self):
+        planes = 3
+        counts = np.array([0, 1, 63, 64, 65, 128, 192], dtype=np.int64)
+        got = matrix_to_masks(lowmask_rows(counts, planes))
+        for i, c in enumerate(counts.tolist()):
+            assert got[i] == (1 << c) - 1, c
+
+    def test_fuzzed_vs_bigint(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            planes = rng.randint(1, 4)
+            counts = np.array(
+                [rng.randint(0, 64 * planes) for _ in range(8)],
+                dtype=np.int64,
+            )
+            got = matrix_to_masks(lowmask_rows(counts, planes))
+            for i, c in enumerate(counts.tolist()):
+                assert got[i] == (1 << c) - 1, (planes, c)
+
+
+@needs_numpy
+class TestHighbitRows:
+    def test_edges(self):
+        m = 130  # three planes
+        masks = [0, 1, 1 << 63, 1 << 64, 1 << 129, (1 << 130) - 1, 0b1010]
+        got = highbit_rows(masks_to_matrix(masks, m)).tolist()
+        want = [mask.bit_length() - 1 for mask in masks]
+        assert got == want  # -1 for the empty row, top set bit otherwise
+
+    def test_fuzzed_vs_bit_length(self):
+        rng = random.Random(8)
+        for _ in range(100):
+            m = rng.randint(1, 190)
+            masks = [rng.getrandbits(m) for _ in range(rng.randint(1, 6))]
+            got = highbit_rows(masks_to_matrix(masks, m)).tolist()
+            assert got == [mask.bit_length() - 1 for mask in masks], m
 
 
 # ----------------------------------------------------------------------

@@ -5,7 +5,11 @@ import random
 
 import pytest
 
-from repro.topology.random_graphs import paper_edge_probability, random_graph
+from repro.topology.random_graphs import (
+    paper_edge_probability,
+    random_graph,
+    sparse_random_graph,
+)
 from repro.topology.weights import unit_capacity
 
 
@@ -95,3 +99,76 @@ class TestGenerator:
         topo = random_graph(1, random.Random(0))
         assert topo.num_vertices == 1
         assert topo.num_arcs() == 0
+
+
+class TestSparseGenerator:
+    def test_connected_and_valid_edges(self):
+        for seed in range(5):
+            topo = sparse_random_graph(60, random.Random(seed))
+            adj = {v: set() for v in range(60)}
+            for arc in topo.arcs:
+                assert 0 <= arc.src < 60 and 0 <= arc.dst < 60
+                assert arc.src != arc.dst
+                adj[arc.src].add(arc.dst)
+            seen = {0}
+            stack = [0]
+            while stack:
+                u = stack.pop()
+                for v in adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        stack.append(v)
+            assert len(seen) == 60
+
+    def test_no_duplicate_edges(self):
+        topo = sparse_random_graph(80, random.Random(3))
+        pairs = [(a.src, a.dst) for a in topo.arcs]
+        assert len(pairs) == len(set(pairs))
+
+    def test_symmetric_arcs(self):
+        topo = sparse_random_graph(40, random.Random(1))
+        arcs = {(a.src, a.dst): a.capacity for a in topo.arcs}
+        for (u, v), cap in arcs.items():
+            assert arcs[(v, u)] == cap
+
+    def test_edge_count_order_n_log_n(self):
+        """Same O(n ln n) edge growth as the per-pair sampler."""
+        n = 400
+        topo = sparse_random_graph(n, random.Random(4))
+        undirected_edges = topo.num_arcs() / 2
+        expected = n * math.log(n)
+        assert 0.5 * expected < undirected_edges < 1.5 * expected
+
+    def test_deterministic_given_rng(self):
+        a = sparse_random_graph(50, random.Random(9))
+        b = sparse_random_graph(50, random.Random(9))
+        assert a.arcs == b.arcs
+
+    def test_dense_and_empty_probabilities(self):
+        dense = sparse_random_graph(10, random.Random(0), p=1.0)
+        assert dense.num_arcs() == 10 * 9
+        empty = sparse_random_graph(
+            10, random.Random(0), p=0.0, require_connected=False
+        )
+        assert empty.num_arcs() == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sparse_random_graph(0, random.Random(0))
+        with pytest.raises(ValueError):
+            sparse_random_graph(10, random.Random(0), p=-0.1)
+        with pytest.raises(RuntimeError, match="connected"):
+            sparse_random_graph(10, random.Random(0), p=0.0, max_retries=3)
+
+    def test_mean_edge_count_matches_dense_sampler(self):
+        """Both samplers target E[edges] = C(n, 2) * p."""
+        n, p, trials = 40, 0.12, 60
+        expected = n * (n - 1) / 2 * p
+        total = 0
+        for seed in range(trials):
+            topo = sparse_random_graph(
+                n, random.Random(seed), p=p, require_connected=False
+            )
+            total += topo.num_arcs() / 2
+        mean = total / trials
+        assert abs(mean - expected) < 0.15 * expected
