@@ -31,6 +31,14 @@ Two halves:
       ocd-repro bench-trend BENCH_engine.json new_bench.json --threshold 0.1
       ocd-repro trace-scan traces/ --fail-on-anomaly
 
+* live monitoring — follow a sweep while it runs
+  (``repro.obs.live``)::
+
+      ocd-repro run fig2 --ledger results/ledger.jsonl --trace-dir traces/
+      ocd-repro watch results/ledger.jsonl --trace traces/
+      ocd-repro watch results/ledger.jsonl --once --fail-on-anomaly
+      ocd-repro trace-scan traces/ --follow --ledger results/ledger.jsonl
+
 (equivalently ``python -m repro ...``).  Problem files are the
 ``Problem.to_dict`` JSON form.
 """
@@ -111,6 +119,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write one run-trace JSONL per computed sweep point into this "
         "directory (or $REPRO_TRACE_DIR; cache hits compute nothing and "
         "leave no trace)",
+    )
+    run.add_argument(
+        "--ledger",
+        default=None,
+        help="append the live run ledger (sweep/point status + heartbeat "
+        "events) here, for 'ocd-repro watch' (or $REPRO_LEDGER)",
+    )
+    run.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=None,
+        help="seconds between in-flight worker heartbeats in the ledger "
+        "(default 5, or $REPRO_HEARTBEAT_S)",
+    )
+    run.add_argument(
+        "--profile-sweep",
+        action="store_true",
+        help="aggregate per-worker phase timers/metrics into one "
+        "sweep-level profile, rendered at sweep end and embedded in the "
+        "ledger's sweep_end event",
     )
 
     generate = sub.add_parser(
@@ -235,6 +263,13 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "traces", nargs="+", help="trace JSONL file(s) to validate"
     )
+    verify.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or "
+        "deterministic sorted-key JSON",
+    )
 
     trend = sub.add_parser(
         "bench-trend",
@@ -293,6 +328,65 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fail-on-anomaly",
         action="store_true",
         help="exit non-zero when any anomaly is found (for CI)",
+    )
+    scan.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or "
+        "deterministic sorted-key JSON",
+    )
+    scan.add_argument(
+        "--follow",
+        action="store_true",
+        help="scan incrementally while the traces grow, finishing with a "
+        "strict pass once the sweep's ledger records sweep_end "
+        "(requires --ledger)",
+    )
+    scan.add_argument(
+        "--ledger",
+        default=None,
+        help="run-ledger JSONL announcing the sweep being followed "
+        "(written by run --ledger); --follow stops when it ends",
+    )
+    scan.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="poll interval in seconds for --follow (default: 0.5)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="live terminal dashboard over a sweep's run ledger",
+    )
+    watch.add_argument(
+        "ledger",
+        help="run-ledger JSONL path (written by run --ledger)",
+    )
+    watch.add_argument(
+        "--trace",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="also scan these trace files/directories for anomalies as "
+        "they grow (repeatable)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (non-TTY/CI mode)",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="poll interval in seconds (default: 1.0)",
+    )
+    watch.add_argument(
+        "--fail-on-anomaly",
+        action="store_true",
+        help="exit non-zero when the trace scan finds any anomaly",
     )
 
     report = sub.add_parser(
@@ -359,6 +453,9 @@ def _cmd_run(args) -> int:
         force=True if args.force else None,
         cache_dir=args.cache_dir,
         trace_dir=args.trace_dir,
+        ledger_path=args.ledger,
+        heartbeat_s=args.heartbeat_s,
+        profile=True if args.profile_sweep else None,
     )
     if args.telemetry is not None:
         config = replace(config, telemetry_path=args.telemetry)
@@ -613,17 +710,25 @@ def _cmd_trace_diff(args) -> int:
 def _cmd_trace_verify(args) -> int:
     from repro.obs.analyze import validate_trace
 
-    failures = 0
+    reports = []
     for path in args.traces:
         try:
             report = validate_trace(path)
         except (OSError, ValueError) as error:
             print(f"trace-verify failed on {path}: {error}", file=sys.stderr)
             return 2
-        print(report.render())
-        if not report.ok:
-            failures += 1
-    return 0 if failures == 0 else 1
+        reports.append(report)
+    ok = all(report.ok for report in reports)
+    if args.format == "json":
+        payload = {
+            "ok": ok,
+            "reports": [report.as_dict() for report in reports],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+    return 0 if ok else 1
 
 
 def _cmd_bench_trend(args) -> int:
@@ -650,16 +755,77 @@ def _cmd_trace_scan(args) -> int:
         util_span=args.util_span,
     )
     try:
-        anomalies = scan_paths(args.paths, thresholds)
+        if args.follow:
+            anomalies = _follow_scan(args, thresholds)
+        else:
+            anomalies = scan_paths(args.paths, thresholds)
     except (OSError, ValueError) as error:
         print(f"trace-scan failed: {error}", file=sys.stderr)
         return 2
-    for anomaly in anomalies:
-        print(anomaly.render())
-    print(f"trace-scan: {len(anomalies)} anomaly(ies) across {len(args.paths)} path(s)")
+    if args.format == "json":
+        payload = {
+            "anomalies": [anomaly.as_dict() for anomaly in anomalies],
+            "count": len(anomalies),
+            "paths": list(args.paths),
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+    else:
+        if not args.follow:  # follow mode already streamed each finding
+            for anomaly in anomalies:
+                print(anomaly.render())
+        print(
+            f"trace-scan: {len(anomalies)} anomaly(ies) across "
+            f"{len(args.paths)} path(s)"
+        )
     if anomalies and args.fail_on_anomaly:
         return 1
     return 0
+
+
+def _follow_scan(args, thresholds) -> list:
+    """Incremental trace-scan until the sweep's ledger reaches sweep_end.
+
+    Streams each anomaly as it is discovered (text mode), then runs the
+    strict finalize pass — so the returned findings match a post-hoc
+    ``scan_paths`` over the same files.
+    """
+    from repro.obs.live import IncrementalScanner, LedgerState
+
+    if not args.ledger:
+        raise ValueError("--follow requires --ledger to know when to stop")
+    scanner = IncrementalScanner(args.paths, thresholds=thresholds)
+    while True:
+        fresh = scanner.poll()
+        if args.format != "json":
+            for anomaly in fresh:
+                print(anomaly.render(), flush=True)
+        if os.path.exists(args.ledger):
+            state = LedgerState.from_ledger(args.ledger)
+            if state.end is not None:
+                break
+        time.sleep(args.interval)
+    return scanner.finalize()
+
+
+def _cmd_watch(args) -> int:
+    from repro.obs.live import watch
+
+    try:
+        result = watch(
+            args.ledger,
+            trace_paths=args.trace or [],
+            stream=sys.stdout,
+            once=args.once,
+            interval=args.interval,
+            fail_on_anomaly=args.fail_on_anomaly,
+        )
+    except (OSError, ValueError) as error:
+        print(f"watch failed: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("", file=sys.stderr)
+        return 130
+    return result.exit_code
 
 
 def _cmd_report(args) -> int:
@@ -725,6 +891,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench_trend(args)
     if args.command == "trace-scan":
         return _cmd_trace_scan(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "convert-telemetry":
         return _cmd_convert_telemetry(args)
     raise AssertionError(f"unhandled command {args.command!r}")

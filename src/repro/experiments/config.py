@@ -11,7 +11,10 @@ configuration: ``REPRO_WORKERS`` (process count; <=1 means serial),
 ``REPRO_NO_CACHE=1`` (disable the result cache), ``REPRO_FORCE=1``
 (recompute despite cached entries), ``REPRO_CACHE_DIR`` (cache root,
 default ``results/cache``), ``REPRO_TRACE_DIR`` (write per-point run
-traces there; off by default).
+traces there; off by default), ``REPRO_LEDGER`` (append the live run
+ledger there; off by default), ``REPRO_HEARTBEAT_S`` (seconds between
+worker heartbeats, default 5), ``REPRO_PROFILE_SWEEP=1`` (aggregate a
+sweep-level metrics profile).
 """
 
 from __future__ import annotations
@@ -88,14 +91,18 @@ def default_executor_config(
     force: Optional[bool] = None,
     cache_dir: Optional[str] = None,
     trace_dir: Optional[str] = None,
+    ledger_path: Optional[str] = None,
+    heartbeat_s: Optional[float] = None,
+    profile: Optional[bool] = None,
 ) -> ExecutorConfig:
     """Executor knobs from the environment, with explicit overrides.
 
     Arguments that are ``None`` fall back to the ``REPRO_WORKERS`` /
     ``REPRO_NO_CACHE`` / ``REPRO_FORCE`` / ``REPRO_CACHE_DIR`` /
-    ``REPRO_TRACE_DIR`` environment variables, then to the library
-    defaults (serial, cache on, no tracing — this is the CLI-facing
-    default; programmatic driver calls that construct a bare
+    ``REPRO_TRACE_DIR`` / ``REPRO_LEDGER`` / ``REPRO_HEARTBEAT_S`` /
+    ``REPRO_PROFILE_SWEEP`` environment variables, then to the library
+    defaults (serial, cache on, no tracing, no ledger — this is the
+    CLI-facing default; programmatic driver calls that construct a bare
     ``Executor()`` stay cache-free).
     """
     if workers is None:
@@ -113,6 +120,15 @@ def default_executor_config(
         )
     if trace_dir is None:
         trace_dir = os.environ.get("REPRO_TRACE_DIR") or None
+    if ledger_path is None:
+        ledger_path = os.environ.get("REPRO_LEDGER") or None
+    if heartbeat_s is None:
+        try:
+            heartbeat_s = float(os.environ.get("REPRO_HEARTBEAT_S", "5"))
+        except ValueError:
+            heartbeat_s = 5.0
+    if profile is None:
+        profile = os.environ.get("REPRO_PROFILE_SWEEP") == "1"
     return ExecutorConfig(
         workers=max(1, workers),
         use_cache=use_cache,
@@ -120,4 +136,7 @@ def default_executor_config(
         cache_dir=cache_dir,
         progress=True,
         trace_dir=trace_dir,
+        ledger_path=ledger_path,
+        heartbeat_s=heartbeat_s,
+        profile=profile,
     )

@@ -28,7 +28,21 @@ grid:
   sweeps produce byte-identical trace files;
 * **failure policy** — a failing point is retried once and then
   *reported* via :class:`SweepError` with the worker-side traceback
-  attached; points are never silently dropped.
+  attached; points are never silently dropped;
+* **live monitoring** — with ``ledger_path`` set, the executor appends
+  a run ledger (:mod:`repro.obs.live`): the parent writes
+  ``sweep_start``/``sweep_end`` (and ``point_end`` rows for cache
+  hits), and every worker writes ``point_start``, periodic
+  ``point_heartbeat`` (wall time plus ``getrusage`` peaks from a
+  daemon thread), and ``point_end`` for the points it computes.
+  Wall-clock and resource fields live *only* in the ledger — trace
+  files stay byte-identical with monitoring on or off — and a retried
+  point's stale ledger events are superseded by ``attempt`` index;
+* **profiling** — with ``profile`` set, each computed point activates
+  an ambient :class:`repro.obs.MetricsRegistry` around its point
+  function; workers ship their snapshots home and the executor merges
+  them into one sweep-level profile (``Executor.profile``), embedded
+  in the ledger's ``sweep_end`` event.
 
 Parallel output is bit-identical to serial output by construction:
 results are returned in grid order regardless of completion order, and
@@ -42,10 +56,12 @@ the :func:`point_function` decorator and looked up by ``spec.kind``.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import hashlib
 import json
 import os
 import sys
+import threading
 import time
 import traceback as traceback_module
 from dataclasses import dataclass, replace
@@ -62,8 +78,15 @@ from typing import (
 )
 
 from repro.obs.events import EventWriter, make_event
+from repro.obs.live.ledger import LedgerWriter
 from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, metrics_active
 from repro.obs.tracer import JsonlTracer, activated
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover — non-POSIX platform
+    _resource = None  # type: ignore[assignment]
 
 __all__ = [
     "CACHE_VERSION",
@@ -238,9 +261,108 @@ def _point_trace_path(trace_dir: str, spec: PointSpec) -> str:
     )
 
 
+def _rusage() -> Tuple[Optional[int], Optional[float]]:
+    """Current process peak RSS (kB) and CPU seconds, when available."""
+    if _resource is None:
+        return None, None
+    usage = _resource.getrusage(_resource.RUSAGE_SELF)
+    return int(usage.ru_maxrss), float(usage.ru_utime + usage.ru_stime)
+
+
+def _ledger_point_end(
+    ledger: LedgerWriter,
+    spec: PointSpec,
+    attempt: int,
+    ok: bool,
+    cache: str,
+    wall_s: float,
+    error: Optional[str] = None,
+    resources: bool = True,
+) -> None:
+    """Append one ``point_end`` ledger row for ``spec``."""
+    fields: JsonDict = {
+        "figure": spec.figure,
+        "kind": spec.kind,
+        "index": spec.index,
+        "seed": spec.seed,
+        "attempt": attempt,
+        "worker": os.getpid(),
+        "ok": ok,
+        "cache": cache,
+        "wall_s": round(wall_s, 6),
+    }
+    if error is not None:
+        fields["error"] = error
+    if resources:
+        rss, cpu = _rusage()
+        if rss is not None:
+            fields["maxrss_kb"] = rss
+        if cpu is not None:
+            fields["cpu_s"] = round(cpu, 6)
+    ledger.write(make_event("point_end", fields))
+
+
+class _PointHeartbeat:
+    """Daemon thread appending ``point_heartbeat`` while a point runs.
+
+    The thread shares the worker's :class:`LedgerWriter`, but only ever
+    writes between :meth:`start` and :meth:`stop` — and :meth:`stop`
+    joins — so the worker's own ``point_start``/``point_end`` writes
+    never interleave with a beat.
+    """
+
+    def __init__(
+        self,
+        ledger: LedgerWriter,
+        spec: PointSpec,
+        attempt: int,
+        interval_s: float,
+        started: float,
+    ) -> None:
+        self._ledger = ledger
+        self._spec = spec
+        self._attempt = attempt
+        self._interval = max(0.05, interval_s)
+        self._started = started
+        self._halt = threading.Event()
+        self._thread = threading.Thread(
+            target=self._beat, name="sweep-heartbeat", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self._thread.join()
+
+    def _beat(self) -> None:
+        while not self._halt.wait(self._interval):
+            spec = self._spec
+            fields: JsonDict = {
+                "figure": spec.figure,
+                "kind": spec.kind,
+                "index": spec.index,
+                "attempt": self._attempt,
+                "worker": os.getpid(),
+                "elapsed_s": round(time.perf_counter() - self._started, 6),
+            }
+            rss, cpu = _rusage()
+            if rss is not None:
+                fields["maxrss_kb"] = rss
+            if cpu is not None:
+                fields["cpu_s"] = round(cpu, 6)
+            self._ledger.write(make_event("point_heartbeat", fields))
+
+
 def _compute_point(
-    spec: PointSpec, trace_dir: Optional[str] = None
-) -> Tuple[JsonDict, float, int]:
+    spec: PointSpec,
+    trace_dir: Optional[str] = None,
+    ledger_path: Optional[str] = None,
+    attempt: int = 0,
+    heartbeat_s: float = 5.0,
+    profile: bool = False,
+) -> Tuple[JsonDict, float, int, Optional[JsonDict]]:
     """Worker entry: run one point, timing it.  Must stay module-level
     so it is picklable by ProcessPoolExecutor.
 
@@ -248,32 +370,81 @@ def _compute_point(
     duration of the point function, so every engine it constructs
     records into the point's trace file.  A retry reopens the file
     fresh, so failed attempts never leave duplicate events behind.
+
+    With ``ledger_path`` set, the worker appends ``point_start``, a
+    ``point_heartbeat`` every ``heartbeat_s`` seconds, and ``point_end``
+    (success or failure) to the run ledger; with ``profile`` set, an
+    ambient :class:`MetricsRegistry` wraps the point function and its
+    snapshot rides home as the fourth return element.
     """
     started = time.perf_counter()
     fn = resolve_point_function(spec.kind)
-    if trace_dir is None:
-        result = fn(spec)
-    else:
-        os.makedirs(trace_dir, exist_ok=True)
-        with JsonlTracer(path=_point_trace_path(trace_dir, spec)) as tracer:
-            tracer.emit(
-                "trace_header",
-                {
-                    "figure": spec.figure,
-                    "kind": spec.kind,
-                    "index": spec.index,
-                    "seed": spec.seed,
-                    "params": spec.params_dict(),
-                },
+    ledger: Optional[LedgerWriter] = None
+    heartbeat: Optional[_PointHeartbeat] = None
+    if ledger_path is not None:
+        ledger = LedgerWriter(ledger_path)
+        start_fields: JsonDict = {
+            "figure": spec.figure,
+            "kind": spec.kind,
+            "index": spec.index,
+            "seed": spec.seed,
+            "attempt": attempt,
+            "worker": os.getpid(),
+            "started_unix": time.time(),
+        }
+        ledger.write(make_event("point_start", start_fields))
+        heartbeat = _PointHeartbeat(ledger, spec, attempt, heartbeat_s, started)
+        heartbeat.start()
+    registry = MetricsRegistry() if profile else None
+    try:
+        with contextlib.ExitStack() as stack:
+            if registry is not None:
+                stack.enter_context(metrics_active(registry))
+            if trace_dir is not None:
+                os.makedirs(trace_dir, exist_ok=True)
+                tracer = stack.enter_context(
+                    JsonlTracer(path=_point_trace_path(trace_dir, spec))
+                )
+                tracer.emit(
+                    "trace_header",
+                    {
+                        "figure": spec.figure,
+                        "kind": spec.kind,
+                        "index": spec.index,
+                        "seed": spec.seed,
+                        "params": spec.params_dict(),
+                    },
+                )
+                stack.enter_context(activated(tracer))
+            result = fn(spec)
+        if not isinstance(result, dict):
+            raise TypeError(
+                f"point function {spec.kind!r} must return a dict, "
+                f"got {type(result).__name__}"
             )
-            with activated(tracer):
-                result = fn(spec)
-    if not isinstance(result, dict):
-        raise TypeError(
-            f"point function {spec.kind!r} must return a dict, "
-            f"got {type(result).__name__}"
-        )
-    return result, time.perf_counter() - started, os.getpid()
+    except BaseException as exc:
+        if heartbeat is not None:
+            heartbeat.stop()
+        if ledger is not None:
+            _ledger_point_end(
+                ledger,
+                spec,
+                attempt,
+                ok=False,
+                cache="miss",
+                wall_s=time.perf_counter() - started,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            ledger.close()
+        raise
+    wall_s = time.perf_counter() - started
+    if heartbeat is not None:
+        heartbeat.stop()
+    if ledger is not None:
+        _ledger_point_end(ledger, spec, attempt, ok=True, cache="miss", wall_s=wall_s)
+        ledger.close()
+    snapshot = registry.snapshot() if registry is not None else None
+    return result, wall_s, os.getpid(), snapshot
 
 
 # ----------------------------------------------------------------------
@@ -365,6 +536,17 @@ class ExecutorConfig:
     #: ``trace_dir/<figure>-<kind>-<index>.jsonl`` (cache hits compute
     #: nothing and therefore trace nothing).
     trace_dir: Optional[str] = None
+    #: When set, the executor appends the run ledger
+    #: (:mod:`repro.obs.live`) there: ``sweep_start``, per-point
+    #: ``point_start``/``point_heartbeat``/``point_end``, ``sweep_end``.
+    #: Off by default — disabled monitoring adds no work to any path.
+    ledger_path: Optional[str] = None
+    #: Seconds between ``point_heartbeat`` rows from in-flight workers.
+    heartbeat_s: float = 5.0
+    #: Activate an ambient :class:`repro.obs.MetricsRegistry` around
+    #: every computed point and merge the per-worker snapshots into one
+    #: sweep-level profile (``Executor.profile``).
+    profile: bool = False
 
     def with_telemetry_default(self) -> "ExecutorConfig":
         """Fill in the default telemetry path under the cache dir."""
@@ -392,6 +574,9 @@ class Executor:
     ) -> None:
         self.config = config or ExecutorConfig()
         self.outcomes: List[PointOutcome] = []
+        #: Sweep-level metrics, merged from per-worker snapshots when
+        #: ``config.profile`` is set (empty otherwise).
+        self.profile = MetricsRegistry()
         self._stream = stream if stream is not None else sys.stderr
 
     # -- cache ----------------------------------------------------------
@@ -445,6 +630,32 @@ class Executor:
             for outcome in outcomes:
                 writer.write(outcome.as_event())
 
+    # -- ledger ---------------------------------------------------------
+    def _open_ledger(self, specs: Sequence[PointSpec]) -> Optional[LedgerWriter]:
+        """Open the run ledger and announce the sweep, when configured."""
+        path = self.config.ledger_path
+        if not path or not specs:
+            return None
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        ledger = LedgerWriter(path)
+        fields: JsonDict = {
+            "figure": specs[0].figure,
+            "points": len(specs),
+            "workers": max(1, self.config.workers),
+            "started_unix": time.time(),
+            "heartbeat_s": self.config.heartbeat_s,
+        }
+        if self.config.trace_dir:
+            fields["trace_dir"] = self.config.trace_dir
+        ledger.write(make_event("sweep_start", fields))
+        return ledger
+
+    def _merge_profile(self, snapshot: Optional[JsonDict]) -> None:
+        if snapshot is not None:
+            self.profile.merge(MetricsRegistry.from_snapshot(snapshot))
+
     # -- execution ------------------------------------------------------
     def _serial_point(
         self, spec: PointSpec
@@ -454,13 +665,19 @@ class Executor:
         last_traceback = ""
         for attempt in range(self.config.retries + 1):
             try:
-                result, wall_s, worker = _compute_point(
-                    spec, self.config.trace_dir
+                result, wall_s, worker, snapshot = _compute_point(
+                    spec,
+                    self.config.trace_dir,
+                    self.config.ledger_path,
+                    attempt,
+                    self.config.heartbeat_s,
+                    self.config.profile,
                 )
             except Exception as exc:  # noqa: BLE001 — reported, never dropped
                 last_error = f"{type(exc).__name__}: {exc}"
                 last_traceback = traceback_module.format_exc()
                 continue
+            self._merge_profile(snapshot)
             return result, PointOutcome(
                 spec=spec,
                 cache_hit=False,
@@ -494,14 +711,23 @@ class Executor:
         by grid index, so completion order never affects output order.
         """
         attempts: Dict[int, int] = {i: 0 for i in pending}
-        trace_dir = self.config.trace_dir
+        config = self.config
+
+        def submit(pool: concurrent.futures.ProcessPoolExecutor, i: int) -> Any:
+            return pool.submit(
+                _compute_point,
+                specs[i],
+                config.trace_dir,
+                config.ledger_path,
+                attempts[i],
+                config.heartbeat_s,
+                config.profile,
+            )
+
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.config.workers
         ) as pool:
-            futures = {
-                pool.submit(_compute_point, specs[i], trace_dir): i
-                for i in pending
-            }
+            futures = {submit(pool, i): i for i in pending}
             while futures:
                 done, _ = concurrent.futures.wait(
                     futures, return_when=concurrent.futures.FIRST_COMPLETED
@@ -509,13 +735,11 @@ class Executor:
                 for future in done:
                     i = futures.pop(future)
                     try:
-                        result, wall_s, worker = future.result()
+                        result, wall_s, worker, snapshot = future.result()
                     except Exception as exc:  # noqa: BLE001
                         if attempts[i] < self.config.retries:
                             attempts[i] += 1
-                            futures[
-                                pool.submit(_compute_point, specs[i], trace_dir)
-                            ] = i
+                            futures[submit(pool, i)] = i
                             continue
                         # format_exception follows the __cause__ chain, so
                         # the pool's _RemoteTraceback — the worker-side
@@ -535,6 +759,7 @@ class Executor:
                             ),
                         )
                         continue
+                    self._merge_profile(snapshot)
                     results[i] = result
                     outcomes[i] = PointOutcome(
                         spec=specs[i],
@@ -558,6 +783,7 @@ class Executor:
         started = time.perf_counter()
         results: List[Optional[JsonDict]] = [None] * len(specs)
         outcomes: List[Optional[PointOutcome]] = [None] * len(specs)
+        ledger = self._open_ledger(specs)
 
         pending: List[int] = []
         for i, spec in enumerate(specs):
@@ -573,6 +799,18 @@ class Executor:
                     ok=True,
                     stats=cached.get("stats"),
                 )
+                if ledger is not None:
+                    # Cache hits never reach a worker: the parent closes
+                    # them in the ledger directly (cache="hit").
+                    _ledger_point_end(
+                        ledger,
+                        spec,
+                        attempt=0,
+                        ok=True,
+                        cache="hit",
+                        wall_s=0.0,
+                        resources=False,
+                    )
             else:
                 pending.append(i)
 
@@ -602,6 +840,24 @@ class Executor:
             _logger.debug("%s", message)
             if self.config.progress:
                 self._stream.write(message + "\n")
+            if ledger is not None:
+                end_fields: JsonDict = {
+                    "figure": specs[0].figure,
+                    "points": len(specs),
+                    "done": sum(1 for o in final_outcomes if o.ok),
+                    "failed": len(failures),
+                    "cached": hits,
+                    "ok": not failures,
+                    "wall_s": round(elapsed, 6),
+                }
+                if self.config.profile:
+                    end_fields["profile"] = self.profile.snapshot()
+                ledger.write(make_event("sweep_end", end_fields))
+                ledger.close()
+            if self.config.profile and self.config.progress:
+                self._stream.write(
+                    "[sweep profile]\n" + self.profile.render() + "\n"
+                )
         if failures:
             raise SweepError(failures)
         return [result for result in results if result is not None]

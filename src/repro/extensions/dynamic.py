@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 from repro.core.problem import Arc, Problem
 from repro.core.schedule import Schedule, Timestep
 from repro.core.tokenset import TokenSet
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, current_metrics
 from repro.obs.tracer import Tracer, current_tracer
 from repro.sim.engine import (
     HeuristicProtocol,
@@ -204,7 +204,7 @@ class DynamicEngine:
         # the coding extension substitutes threshold reconstruction.
         self.success_predicate = success_predicate
         self.tracer: Tracer = tracer if tracer is not None else current_tracer()
-        self.metrics = metrics
+        self.metrics = metrics if metrics is not None else current_metrics()
         # Heuristics see per-turn graphs here, so batched reads keyed to
         # the base problem's arcs do not apply; kernel choice still must
         # not change behavior (proposals run through the dict path, and

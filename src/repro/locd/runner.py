@@ -23,7 +23,7 @@ from repro.core.problem import Problem
 from repro.core.schedule import Schedule, Timestep
 from repro.core.tokenset import TokenSet
 from repro.locd.knowledge import Knowledge, initial_knowledge
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, current_metrics
 from repro.obs.tracer import Tracer, current_tracer
 from repro.sim.engine import (
     HeuristicViolation,
@@ -81,7 +81,7 @@ class LocalEngine:
             max_steps = 4 * max(problem.move_bound(), 1) + 4 * problem.num_vertices + 64
         self.max_steps = max_steps
         self.tracer: Tracer = tracer if tracer is not None else current_tracer()
-        self.metrics = metrics
+        self.metrics = metrics if metrics is not None else current_metrics()
         # LOCD algorithms only ever see per-vertex Knowledge, so the
         # kernel choice cannot change decisions; the batch kernel's
         # matrix stays unsynced (lazy) and costs nothing here.

@@ -34,6 +34,7 @@ from repro.obs.events import (
     iter_events,
     make_event,
     read_events,
+    read_events_tail,
     validate_event,
 )
 from repro.obs.log import enable_console_logging, get_logger
@@ -43,6 +44,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     PhaseTimer,
+    current_metrics,
+    metrics_active,
 )
 from repro.obs.report import (
     RunTimeline,
@@ -79,6 +82,7 @@ __all__ = [
     "Tracer",
     "activated",
     "convert_telemetry",
+    "current_metrics",
     "current_tracer",
     "dump_event",
     "enable_console_logging",
@@ -87,7 +91,9 @@ __all__ = [
     "iter_events",
     "load_timelines",
     "make_event",
+    "metrics_active",
     "read_events",
+    "read_events_tail",
     "render_report",
     "render_trace_file",
     "upgrade_record",

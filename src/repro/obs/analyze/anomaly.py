@@ -25,6 +25,13 @@ run nominally succeeded:
 Thresholds live in :class:`ScanThresholds`; the defaults are tuned for
 the repo's small benchmark instances and every CLI flag maps onto one
 field.
+
+Streaming scans (:class:`repro.obs.live.IncrementalScanner`) pass
+``open_tail=True``: the *final* run of a still-growing trace is treated
+as in progress — its missing ``run_end`` is expected, not a
+``truncated-run`` — while every earlier run in the same file is checked
+strictly.  A finalize pass with ``open_tail=False`` restores the
+post-hoc verdict exactly.
 """
 
 from __future__ import annotations
@@ -71,6 +78,17 @@ class Anomaly:
             where += f" step {self.step}"
         return f"{where}: [{self.kind}] {self.detail}"
 
+    def as_dict(self) -> dict:
+        """JSON-able view for ``--format json`` and the watch dashboard."""
+        return {
+            "path": self.path,
+            "run": self.run,
+            "heuristic": self.heuristic,
+            "kind": self.kind,
+            "step": self.step,
+            "detail": self.detail,
+        }
+
 
 def _constant_spans(values: Sequence[int]) -> List[tuple[int, int, int]]:
     """Maximal ``(first, last, value)`` spans of equal consecutive values."""
@@ -84,7 +102,10 @@ def _constant_spans(values: Sequence[int]) -> List[tuple[int, int, int]]:
 
 
 def _scan_run(
-    timeline: RunTimeline, path: str, thresholds: ScanThresholds
+    timeline: RunTimeline,
+    path: str,
+    thresholds: ScanThresholds,
+    open_tail: bool = False,
 ) -> List[Anomaly]:
     found: List[Anomaly] = []
 
@@ -138,11 +159,12 @@ def _scan_run(
                 )
             quiet_lo = None
     if timeline.end is None:
-        flag(
-            "truncated-run",
-            None,
-            "no run_end event (crashed or interrupted?)",
-        )
+        if not open_tail:
+            flag(
+                "truncated-run",
+                None,
+                "no run_end event (crashed or interrupted?)",
+            )
     elif not timeline.end.get("success"):
         flag(
             "failed-run",
@@ -156,23 +178,41 @@ def scan_events(
     events: Sequence[dict],
     path: str = "<events>",
     thresholds: ScanThresholds = ScanThresholds(),
+    open_tail: bool = False,
 ) -> List[Anomaly]:
-    """Scan one parsed event stream for anomalous runs."""
+    """Scan one parsed event stream for anomalous runs.
+
+    ``open_tail=True`` treats the final run as still in progress: its
+    missing ``run_end`` is not flagged as ``truncated-run``.
+    """
     found: List[Anomaly] = []
-    for timeline in load_timelines(events):
-        found.extend(_scan_run(timeline, path, thresholds))
+    timelines = load_timelines(events)
+    for i, timeline in enumerate(timelines):
+        last = i == len(timelines) - 1
+        found.extend(
+            _scan_run(timeline, path, thresholds, open_tail=open_tail and last)
+        )
     return found
 
 
 def scan_trace(
-    path: str, thresholds: ScanThresholds = ScanThresholds()
+    path: str,
+    thresholds: ScanThresholds = ScanThresholds(),
+    open_tail: bool = False,
 ) -> List[Anomaly]:
     """Scan one trace file for anomalous runs."""
-    return scan_events(read_events(path), path=path, thresholds=thresholds)
+    return scan_events(
+        read_events(path, tail=open_tail),
+        path=path,
+        thresholds=thresholds,
+        open_tail=open_tail,
+    )
 
 
 def scan_paths(
-    paths: Sequence[str], thresholds: ScanThresholds = ScanThresholds()
+    paths: Sequence[str],
+    thresholds: ScanThresholds = ScanThresholds(),
+    open_tail: bool = False,
 ) -> List[Anomaly]:
     """Scan trace files and/or directories of ``*.jsonl`` traces."""
     files: List[str] = []
@@ -187,5 +227,5 @@ def scan_paths(
             files.append(path)
     found: List[Anomaly] = []
     for file in files:
-        found.extend(scan_trace(file, thresholds))
+        found.extend(scan_trace(file, thresholds, open_tail=open_tail))
     return found

@@ -82,7 +82,7 @@ def split_runs(
 
     Mirrors the grouping of :func:`repro.obs.report.load_timelines` but
     keeps the exact emission order per run, which the differ needs.
-    ``sweep_point`` telemetry rows are ignored.
+    ``sweep_point`` telemetry and run-ledger rows are ignored.
     """
     header: Optional[JsonDict] = None
     runs: Dict[int, TraceRun] = {}
@@ -92,7 +92,7 @@ def split_runs(
             if header is None:
                 header = event
             continue
-        if kind == "sweep_point":
+        if kind not in ("run_start", "step", "stall", "run_end"):
             continue
         run_index = int(event.get("run", 0))
         run = runs.get(run_index)

@@ -31,6 +31,13 @@ kernel — so an engine bug cannot hide by also corrupting the validator.
 Dynamic-conditions traces (``engine: "dynamic"``) skip the two arc-level
 checks: their arc set and capacities change per timestep and only the
 turn's engine knows them; everything state-based is still enforced.
+
+Streaming validation (:class:`repro.obs.live.IncrementalValidator`)
+passes ``open_tail=True``: the *final* run of a still-growing trace may
+legitimately lack its ``run_end`` yet, so only its per-step invariants
+are replayed and the missing-``run_end`` structure violation is
+deferred; a finalize pass with ``open_tail=False`` restores the
+post-hoc verdict exactly.
 """
 
 from __future__ import annotations
@@ -76,6 +83,15 @@ class Violation:
             where += f" step {self.step}"
         return f"{where}: [{self.invariant}] {self.message}"
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able view for ``--format json`` consumers."""
+        return {
+            "run": self.run,
+            "step": self.step,
+            "invariant": self.invariant,
+            "message": self.message,
+        }
+
 
 @dataclass
 class ValidationReport:
@@ -107,13 +123,27 @@ class ValidationReport:
                 lines.append(f"    {violation.render()}")
         return "\n".join(lines)
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able view for ``--format json`` consumers."""
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "runs_checked": self.runs_checked,
+            "steps_checked": self.steps_checked,
+            "violations": [v.as_dict() for v in self.violations],
+            "notes": list(self.notes),
+        }
+
 
 class _RunValidator:
     """Replays one run and accumulates violations."""
 
-    def __init__(self, run: TraceRun, report: ValidationReport) -> None:
+    def __init__(
+        self, run: TraceRun, report: ValidationReport, open_tail: bool = False
+    ) -> None:
         self.run = run
         self.report = report
+        self.open_tail = open_tail
 
     def _flag(self, invariant: str, message: str, step: Optional[int] = None) -> None:
         self.report.violations.append(
@@ -284,11 +314,17 @@ class _RunValidator:
             if instance.want_masks[v] & ~have[v]
         ]
         if end is None:
-            self._flag(
-                "trace-structure",
-                "run has no run_end event (trace truncated); final-state "
-                "invariants cannot be confirmed",
-            )
+            if not self.open_tail:
+                self._flag(
+                    "trace-structure",
+                    "run has no run_end event (trace truncated); final-state "
+                    "invariants cannot be confirmed",
+                )
+            else:
+                self.report.notes.append(
+                    f"run {self.run.run} is still open (no run_end yet); "
+                    f"final-state invariants deferred to finalize"
+                )
             return
         success = bool(end.get("success"))
         if success and unmet:
@@ -319,18 +355,27 @@ class _RunValidator:
 
 
 def validate_events(
-    events: Sequence[JsonDict], path: str = "<events>"
+    events: Sequence[JsonDict],
+    path: str = "<events>",
+    open_tail: bool = False,
 ) -> ValidationReport:
-    """Replay-validate an already-parsed event stream."""
+    """Replay-validate an already-parsed event stream.
+
+    ``open_tail=True`` treats the final run as still in progress: a
+    missing ``run_end`` there becomes a note, not a violation.
+    """
     report = ValidationReport(path=path)
     _header, runs = split_runs(events)
     if not runs:
         report.notes.append("trace contains no runs")
-    for run in runs:
-        _RunValidator(run, report).validate()
+    for i, run in enumerate(runs):
+        last = i == len(runs) - 1
+        _RunValidator(run, report, open_tail=open_tail and last).validate()
     return report
 
 
-def validate_trace(path: str) -> ValidationReport:
+def validate_trace(path: str, open_tail: bool = False) -> ValidationReport:
     """Load a trace JSONL file and replay-validate every run in it."""
-    return validate_events(read_events(path), path=path)
+    return validate_events(
+        read_events(path, tail=open_tail), path=path, open_tail=open_tail
+    )

@@ -27,6 +27,13 @@ Event kinds
 ``sweep_point``
     One executed (or cache-served) sweep grid point — the executor's
     telemetry row (see :mod:`repro.experiments.sweep`).
+``sweep_start`` / ``point_start`` / ``point_heartbeat`` / ``point_end``
+    / ``sweep_end``
+    The live *run ledger* (:mod:`repro.obs.live`): the sweep executor's
+    append-only status stream for in-flight monitoring.  Ledger events
+    are the one place wall-clock and resource fields are allowed —
+    they never appear in trace files, which stay byte-identical with
+    monitoring on or off.
 """
 
 from __future__ import annotations
@@ -46,6 +53,7 @@ __all__ = [
     "iter_events",
     "make_event",
     "read_events",
+    "read_events_tail",
     "validate_event",
 ]
 
@@ -61,6 +69,11 @@ EVENT_KINDS = (
     "stall",
     "run_end",
     "sweep_point",
+    "sweep_start",
+    "point_start",
+    "point_heartbeat",
+    "point_end",
+    "sweep_end",
 )
 
 JsonDict = Dict[str, Any]
@@ -168,6 +181,72 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
             kind="run_end",
             required={"success": "bool", "makespan": "int", "bandwidth": "int"},
             optional={"knowledge_cost": "int"},
+        ),
+        # -- run-ledger kinds (repro.obs.live) -------------------------
+        # The only events allowed to carry wall-clock (`*_unix`, `*_s`)
+        # and resource (`maxrss_kb`, `cpu_s`) fields: the ledger is a
+        # separate operational stream, never part of a trace file.
+        EventSchema(
+            kind="sweep_start",
+            required={
+                "figure": "str",
+                "points": "int",
+                "workers": "int",
+                "started_unix": "float",
+            },
+            optional={"trace_dir": "str", "heartbeat_s": "float"},
+        ),
+        EventSchema(
+            kind="point_start",
+            required={
+                "figure": "str",
+                "kind": "str",
+                "index": "int",
+                "seed": "int",
+                "attempt": "int",
+                "worker": "int",
+                "started_unix": "float",
+            },
+        ),
+        EventSchema(
+            kind="point_heartbeat",
+            required={
+                "figure": "str",
+                "kind": "str",
+                "index": "int",
+                "attempt": "int",
+                "worker": "int",
+                "elapsed_s": "float",
+            },
+            optional={"maxrss_kb": "int", "cpu_s": "float"},
+        ),
+        EventSchema(
+            kind="point_end",
+            required={
+                "figure": "str",
+                "kind": "str",
+                "index": "int",
+                "seed": "int",
+                "attempt": "int",
+                "worker": "int",
+                "ok": "bool",
+                "cache": "str",
+                "wall_s": "float",
+            },
+            optional={"error": "str", "maxrss_kb": "int", "cpu_s": "float"},
+        ),
+        EventSchema(
+            kind="sweep_end",
+            required={
+                "figure": "str",
+                "points": "int",
+                "done": "int",
+                "failed": "int",
+                "cached": "int",
+                "ok": "bool",
+                "wall_s": "float",
+            },
+            optional={"profile": "dict"},
         ),
         EventSchema(
             kind="sweep_point",
@@ -304,20 +383,35 @@ class EventWriter:
         self._handle.flush()
 
 
-def read_events(path: str, kind: Optional[str] = None) -> List[JsonDict]:
+def read_events(
+    path: str, kind: Optional[str] = None, tail: bool = False
+) -> List[JsonDict]:
     """Load every event from a JSONL file (optionally one kind).
 
     Raises ``ValueError`` on a line that is not a schema-versioned event
     — feed legacy telemetry through :mod:`repro.obs.convert` first.
+    With ``tail=True`` a trailing *partial* line (no terminating
+    newline — a writer mid-append, or a killed run's truncated flush)
+    is silently ignored instead of raising, so followers and analytics
+    can read a file that is still growing.
     """
-    return list(iter_events(path, kind=kind))
+    return list(iter_events(path, kind=kind, tail=tail))
 
 
-def iter_events(path: str, kind: Optional[str] = None) -> Iterator[JsonDict]:
-    """Stream events from a JSONL file without loading it whole."""
+def iter_events(
+    path: str, kind: Optional[str] = None, tail: bool = False
+) -> Iterator[JsonDict]:
+    """Stream events from a JSONL file without loading it whole.
+
+    ``tail=True`` tolerates a trailing partial line (see
+    :func:`read_events`); a newline-*terminated* line that is not valid
+    JSON still raises — that is corruption, not an in-progress write.
+    """
     with open(path, encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
+        for lineno, raw in enumerate(handle, start=1):
+            if tail and not raw.endswith("\n"):
+                return  # trailing partial line: still being written
+            line = raw.strip()
             if not line:
                 continue
             try:
@@ -332,3 +426,43 @@ def iter_events(path: str, kind: Optional[str] = None) -> Iterator[JsonDict]:
                 )
             if kind is None or obj["event"] == kind:
                 yield obj
+
+
+def read_events_tail(
+    path: str, start: int = 0, kind: Optional[str] = None
+) -> Tuple[List[JsonDict], int]:
+    """Read the complete events appended after byte offset ``start``.
+
+    The follower primitive behind :mod:`repro.obs.live`: returns the
+    events of every newline-terminated line from ``start`` onward plus
+    the *clean* byte offset — the position just past the last complete
+    line, which the caller passes back as the next ``start``.  A
+    trailing partial line is left for the next poll, so incremental
+    reads over a growing file never see a torn record.
+    """
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        blob = handle.read()
+    end = blob.rfind(b"\n")
+    if end < 0:
+        return [], start
+    clean = blob[: end + 1]
+    events: List[JsonDict] = []
+    for raw in clean.split(b"\n")[:-1]:
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ValueError(
+                f"{path}@{start}: complete line is not JSON: {exc}"
+            ) from None
+        if not is_event(obj):
+            raise ValueError(
+                f"{path}@{start}: record lacks the schema envelope "
+                f"(schema_version/event)"
+            )
+        if kind is None or obj["event"] == kind:
+            events.append(obj)
+    return events, start + len(clean)

@@ -1,0 +1,60 @@
+"""Tail-following over a growing set of JSONL files.
+
+:class:`TraceFollower` is the polling primitive under the incremental
+analytics and the watch dashboard: it remembers a clean byte offset per
+file (via :func:`repro.obs.events.read_events_tail`), discovers new
+``*.jsonl`` files appearing in watched directories between polls, and
+accumulates each file's parsed events so analytics that need a whole
+run's history (replay validation, span detection) can re-derive it
+without re-reading bytes already consumed.
+
+A torn final line — a writer mid-append, or the last flush of a killed
+worker — is simply left for the next poll; followers never see a
+partial record and never raise on one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+from repro.obs.events import JsonDict, read_events_tail
+
+__all__ = ["TraceFollower"]
+
+
+class TraceFollower:
+    """Incremental reader over files and directories of JSONL streams."""
+
+    def __init__(self, paths: Sequence[str]) -> None:
+        self._roots = list(paths)
+        #: Clean byte offset consumed so far, per file.
+        self.offsets: Dict[str, int] = {}
+        #: Every event consumed so far, per file, in append order.
+        self.events: Dict[str, List[JsonDict]] = {}
+
+    def files(self) -> List[str]:
+        """The watched files right now (directories expand per poll)."""
+        found: List[str] = []
+        for root in self._roots:
+            if os.path.isdir(root):
+                found.extend(
+                    os.path.join(root, name)
+                    for name in sorted(os.listdir(root))
+                    if name.endswith(".jsonl")
+                )
+            elif os.path.exists(root):
+                found.append(root)
+        return found
+
+    def poll(self) -> List[str]:
+        """Consume newly appended complete lines; return changed files."""
+        changed: List[str] = []
+        for path in self.files():
+            offset = self.offsets.get(path, 0)
+            fresh, clean = read_events_tail(path, start=offset)
+            if fresh:
+                self.events.setdefault(path, []).extend(fresh)
+                changed.append(path)
+            self.offsets[path] = clean
+        return changed

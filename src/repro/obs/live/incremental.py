@@ -1,0 +1,136 @@
+"""Incremental trace-scan and trace-verify over growing trace files.
+
+Both classes wrap a :class:`TraceFollower` and re-analyze only the files
+that changed since the last poll, over those files' *accumulated*
+events — span detection and replay validation need a run's full history,
+but never re-read bytes already consumed.  During polling the analyzers
+run with ``open_tail=True`` so the still-growing final run of each file
+is not misreported as truncated; :meth:`finalize` re-runs the strict
+post-hoc pass, which is what makes the streaming verdicts converge to
+exactly what ``trace-scan`` / ``trace-verify`` would say after the fact.
+
+Scan findings are deduplicated across polls by identity (an anomaly
+reported at poll 3 is not re-reported at poll 4 just because its file
+grew); validation reports are replaced wholesale per file, since a
+report is a statement about the whole file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.obs.analyze.anomaly import Anomaly, ScanThresholds, scan_events
+from repro.obs.analyze.validate import ValidationReport, validate_events
+from repro.obs.live.follow import TraceFollower
+
+__all__ = ["IncrementalScanner", "IncrementalValidator"]
+
+_AnomalyKey = Tuple[str, int, str, object, str]
+
+
+def _anomaly_key(anomaly: Anomaly) -> _AnomalyKey:
+    return (
+        anomaly.path,
+        anomaly.run,
+        anomaly.kind,
+        anomaly.step,
+        anomaly.detail,
+    )
+
+
+class IncrementalScanner:
+    """Streaming ``trace-scan``: new anomalies per poll, strict at the end."""
+
+    def __init__(
+        self,
+        paths: Sequence[str],
+        thresholds: ScanThresholds = ScanThresholds(),
+    ) -> None:
+        self.thresholds = thresholds
+        self.follower = TraceFollower(paths)
+        self._seen: Set[_AnomalyKey] = set()
+        #: Every anomaly surfaced so far, in discovery order.
+        self.findings: List[Anomaly] = []
+
+    def poll(self) -> List[Anomaly]:
+        """Consume growth, return anomalies not reported before."""
+        fresh: List[Anomaly] = []
+        for path in self.follower.poll():
+            found = scan_events(
+                self.follower.events[path],
+                path=path,
+                thresholds=self.thresholds,
+                open_tail=True,
+            )
+            for anomaly in found:
+                key = _anomaly_key(anomaly)
+                if key not in self._seen:
+                    self._seen.add(key)
+                    fresh.append(anomaly)
+        self.findings.extend(fresh)
+        return fresh
+
+    def finalize(self) -> List[Anomaly]:
+        """One last poll, then the strict pass over every file.
+
+        The strict pass drops the open-tail allowance, so a genuinely
+        truncated final run (killed worker) is flagged here — the
+        returned list is exactly what a post-hoc ``scan_paths`` over the
+        same files reports.
+        """
+        self.poll()
+        final: List[Anomaly] = []
+        for path in self.follower.files():
+            final.extend(
+                scan_events(
+                    self.follower.events.get(path, []),
+                    path=path,
+                    thresholds=self.thresholds,
+                    open_tail=False,
+                )
+            )
+        for anomaly in final:
+            key = _anomaly_key(anomaly)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.findings.append(anomaly)
+        return final
+
+
+class IncrementalValidator:
+    """Streaming ``trace-verify``: per-file reports refreshed per poll."""
+
+    def __init__(self, paths: Sequence[str]) -> None:
+        self.follower = TraceFollower(paths)
+        #: Latest validation report per file (open-tail until finalize).
+        self.reports: Dict[str, ValidationReport] = {}
+
+    def poll(self) -> List[ValidationReport]:
+        """Consume growth, return refreshed reports for changed files."""
+        refreshed: List[ValidationReport] = []
+        for path in self.follower.poll():
+            report = validate_events(
+                self.follower.events[path], path=path, open_tail=True
+            )
+            self.reports[path] = report
+            refreshed.append(report)
+        return refreshed
+
+    def finalize(self) -> List[ValidationReport]:
+        """One last poll, then strict reports for every file.
+
+        Identical to running ``validate_trace`` post hoc on each file.
+        """
+        self.poll()
+        final: List[ValidationReport] = []
+        for path in self.follower.files():
+            report = validate_events(
+                self.follower.events.get(path, []), path=path, open_tail=False
+            )
+            self.reports[path] = report
+            final.append(report)
+        return final
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports.values())

@@ -27,13 +27,25 @@ the engines are ``heuristic_select`` (proposal construction),
 Timings are wall-clock and therefore nondeterministic; they belong in
 ``--profile`` summaries and must never be written into run traces,
 which are byte-identical across identical seeds by contract.
+
+Registries *compose*: :meth:`MetricsRegistry.snapshot` round-trips
+through :meth:`MetricsRegistry.from_snapshot`, and
+:meth:`MetricsRegistry.merge` folds one registry into another — which is
+how the sweep executor aggregates per-worker phase timers into one
+sweep-level profile (worker processes snapshot, the parent merges).
+
+Like the tracer, a registry can be made *ambient*
+(:func:`metrics_active` / :func:`current_metrics`) so engines
+constructed deep inside a point function are profiled without threading
+a registry through every driver signature.  The default ambient value
+is ``None`` — the unprofiled path stays clock-free.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List
+from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 __all__ = [
     "Counter",
@@ -41,6 +53,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "PhaseTimer",
+    "current_metrics",
+    "metrics_active",
 ]
 
 
@@ -160,6 +174,59 @@ class MetricsRegistry:
         finally:
             phase.add(time.perf_counter() - started)
 
+    # -- composition -----------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s instruments into this registry, in place.
+
+        Counters and phase timers add; histograms combine their
+        count/sum/min/max summaries; gauges are last-write-wins (the
+        merged-in registry's level replaces ours, matching
+        :meth:`Gauge.set` semantics).  Returns ``self`` so sweeps can
+        chain ``profile.merge(worker_a).merge(worker_b)``.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other._histograms.items():
+            mine = self.histogram(name)
+            mine.count += hist.count
+            mine.total += hist.total
+            if hist.count:
+                mine.min = min(mine.min, hist.min)
+                mine.max = max(mine.max, hist.max)
+        for name, phase in other._timers.items():
+            mine_phase = self.phase(name)
+            mine_phase.calls += phase.calls
+            mine_phase.seconds += phase.seconds
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snap: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        ``from_snapshot(r.snapshot()).snapshot() == r.snapshot()`` —
+        the round trip is exact, which is what lets worker processes
+        ship their profiles to the parent as plain JSON.
+        """
+        registry = cls()
+        for name, value in snap.get("counters", {}).items():
+            registry.counter(name).inc(int(value))
+        for name, value in snap.get("gauges", {}).items():
+            registry.gauge(name).set(float(value))
+        for name, fields in snap.get("histograms", {}).items():
+            hist = registry.histogram(name)
+            hist.count = int(fields.get("count", 0))
+            hist.total = float(fields.get("sum", 0.0))
+            if hist.count:
+                hist.min = float(fields["min"])
+                hist.max = float(fields["max"])
+        for name, fields in snap.get("phases", {}).items():
+            phase = registry.phase(name)
+            phase.calls = int(fields.get("calls", 0))
+            phase.seconds = float(fields.get("seconds", 0.0))
+        return registry
+
     # -- reporting -------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """JSON-able view of everything recorded so far."""
@@ -209,3 +276,38 @@ class MetricsRegistry:
                     f"min={h.min:g} max={h.max:g}"
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# ----------------------------------------------------------------------
+# Ambient metrics (mirrors the ambient tracer in repro.obs.tracer)
+# ----------------------------------------------------------------------
+_ambient_metrics: Optional[MetricsRegistry] = None
+
+
+def current_metrics() -> Optional[MetricsRegistry]:
+    """The ambient registry engines resolve at construction time.
+
+    ``None`` unless inside a :func:`metrics_active` block — the default
+    path never touches a clock, keeping OCD004's synchronous-model
+    contract intact for unprofiled runs.
+    """
+    return _ambient_metrics
+
+
+@contextmanager
+def metrics_active(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Make ``registry`` ambient for the duration of the block.
+
+    Every engine constructed inside the block without an explicit
+    ``metrics=`` argument records its phase timers here.  Not
+    thread-safe by design, exactly like the ambient tracer: the sweep
+    executor parallelises with *processes*, and each worker activates
+    its own registry, snapshots it, and ships the snapshot home.
+    """
+    global _ambient_metrics
+    previous = _ambient_metrics
+    _ambient_metrics = registry  # ocd: ignore[OCD014] -- each worker process activates its own ambient registry; snapshots travel back explicitly
+    try:
+        yield registry
+    finally:
+        _ambient_metrics = previous  # ocd: ignore[OCD014] -- restores the worker-local ambient on exit

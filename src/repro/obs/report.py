@@ -104,7 +104,9 @@ def load_timelines(events: Sequence[Dict[str, Any]]) -> List[RunTimeline]:
     runs: Dict[int, RunTimeline] = {}
     for event in events:
         kind = event["event"]
-        if kind in ("trace_header", "sweep_point"):
+        if kind not in ("run_start", "step", "stall", "run_end"):
+            # trace_header, sweep_point telemetry, and run-ledger kinds
+            # (sweep_start/point_*/sweep_end) carry no run dynamics.
             continue
         run = int(event.get("run", 0))
         if kind == "run_start":

@@ -44,7 +44,7 @@ from repro.core.metrics import ScheduleMetrics, evaluate_schedule
 from repro.core.problem import Problem
 from repro.core.schedule import Schedule, Timestep
 from repro.core.tokenset import TokenSet
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, current_metrics
 from repro.obs.tracer import Tracer, current_tracer
 from repro.sim.bitplanes import plane_count
 from repro.sim.state import SimState
@@ -312,8 +312,10 @@ class Engine:
     metrics:
         Optional :class:`repro.obs.MetricsRegistry` receiving the phase
         timers (``heuristic_select``, ``kernel_apply``) and run counters
-        behind ``--profile``.  ``None`` (the default) skips all timing —
-        wall-clock never enters the unprofiled path.
+        behind ``--profile``.  ``None`` resolves the ambient registry
+        (:func:`repro.obs.current_metrics`), which defaults to ``None``
+        — the unprofiled path skips all timing and wall-clock never
+        enters it.
     kernel:
         Which step kernel holds the run's state: ``"state"`` (the
         default :class:`SimState`), ``"batch"`` (the numpy bitplane
@@ -349,7 +351,7 @@ class Engine:
         self.max_steps = max_steps
         self.stall_limit = stall_limit
         self.tracer: Tracer = tracer if tracer is not None else current_tracer()
-        self.metrics = metrics
+        self.metrics = metrics if metrics is not None else current_metrics()
         # The default predicate is the paper's: w(v) ⊆ p_t(v) everywhere.
         # Extensions (e.g. threshold coding, §6) substitute their own.
         self.success_predicate = success_predicate

@@ -242,3 +242,118 @@ class TestRunTraceDir:
 
         events = read_events(str(files[0]))
         assert events[0]["event"] == "trace_header"
+
+
+class TestLiveMonitoringCli:
+    @pytest.fixture
+    def monitored_run(self, tmp_path, capsys):
+        """One fig1 sweep with the ledger and per-point traces on disk."""
+        ledger = tmp_path / "ledger.jsonl"
+        traces = tmp_path / "traces"
+        assert (
+            main(
+                [
+                    "run",
+                    "fig2",
+                    "--no-cache",
+                    "--ledger",
+                    str(ledger),
+                    "--trace-dir",
+                    str(traces),
+                    "--heartbeat-s",
+                    "0.2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return ledger, traces
+
+    def test_watch_once_snapshot(self, monitored_run, capsys):
+        ledger, traces = monitored_run
+        assert main(["watch", str(ledger), "--trace", str(traces), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep fig2 [finished]" in out
+        assert "0 failed" in out
+        assert "anomalies: none" in out
+
+    def test_watch_fail_on_anomaly_gates(self, monitored_run, tmp_path, capsys):
+        ledger, traces = monitored_run
+        # Strip the final run_end from one trace: a genuinely truncated
+        # run that the strict pass must flag.
+        source = sorted(traces.iterdir())[0]
+        lines = source.read_text().splitlines(keepends=True)
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        (broken / "torn.jsonl").write_text("".join(lines[:-1]))
+        assert (
+            main(
+                [
+                    "watch",
+                    str(ledger),
+                    "--trace",
+                    str(broken),
+                    "--once",
+                    "--fail-on-anomaly",
+                ]
+            )
+            == 2
+        )
+        assert "truncated-run" in capsys.readouterr().out
+
+    def test_watch_missing_ledger_is_an_error(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "nope.jsonl"), "--once"]) == 2
+        assert "watch failed" in capsys.readouterr().err
+
+    def test_trace_scan_json_is_deterministic(self, monitored_run, capsys):
+        _, traces = monitored_run
+        assert main(["trace-scan", str(traces), "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["trace-scan", str(traces), "--format", "json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["count"] == 0
+        assert payload["anomalies"] == []
+        assert payload["paths"] == [str(traces)]
+
+    def test_trace_verify_json_reports(self, monitored_run, capsys):
+        _, traces = monitored_run
+        files = [str(p) for p in sorted(traces.iterdir())]
+        assert main(["trace-verify", *files, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert [r["path"] for r in payload["reports"]] == files
+        assert all(r["ok"] for r in payload["reports"])
+
+    def test_follow_requires_ledger(self, monitored_run, capsys):
+        _, traces = monitored_run
+        assert main(["trace-scan", str(traces), "--follow"]) == 2
+        assert "--ledger" in capsys.readouterr().err
+
+    def test_follow_over_finished_sweep_matches_post_hoc(
+        self, monitored_run, capsys
+    ):
+        # The ledger already shows sweep_end, so follow mode does one
+        # poll, finalizes, and must agree with the post-hoc scan.
+        ledger, traces = monitored_run
+        assert (
+            main(
+                [
+                    "trace-scan",
+                    str(traces),
+                    "--follow",
+                    "--ledger",
+                    str(ledger),
+                    "--interval",
+                    "0.01",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        followed = json.loads(capsys.readouterr().out)
+        assert main(["trace-scan", str(traces), "--format", "json"]) == 0
+        posthoc = json.loads(capsys.readouterr().out)
+        assert followed["anomalies"] == posthoc["anomalies"]

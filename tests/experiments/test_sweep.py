@@ -380,6 +380,206 @@ class TestFailureTracebacks:
         assert "traceback" not in row
 
 
+class TestRunLedger:
+    """Tentpole: the executor streams sweep status into the run ledger."""
+
+    def _fig2_spec(self):
+        return PointSpec.make(
+            "fig2",
+            "fig2",
+            0,
+            params={"n": 10, "file_tokens": 8, "trial": 0},
+            seed=1,
+        )
+
+    def test_serial_sweep_writes_full_lifecycle(self, tmp_path):
+        from repro.obs import read_events
+        from repro.obs.live import LedgerState
+
+        path = tmp_path / "ledger.jsonl"
+        Executor(ExecutorConfig(ledger_path=str(path))).run(_specs([1, 2]))
+        kinds = [e["event"] for e in read_events(str(path))]
+        assert kinds == [
+            "sweep_start",
+            "point_start",
+            "point_end",
+            "point_start",
+            "point_end",
+            "sweep_end",
+        ]
+        state = LedgerState.from_ledger(str(path))
+        assert state.start["figure"] == "testfig"
+        assert state.expected_points == 2
+        assert state.counts() == {"done": 2, "failed": 0, "running": 0}
+        assert state.end["ok"] is True
+        assert state.end["cached"] == 0
+        for point in state.points.values():
+            assert point.cache == "miss"
+            assert point.worker == os.getpid()
+            assert point.wall_s is not None
+
+    def test_traces_byte_identical_with_monitoring_on_and_off(self, tmp_path):
+        # The contract: wall-clock and resource fields live ONLY in the
+        # ledger; the trace files must not change by a single byte when
+        # monitoring (ledger + heartbeats + profile) is switched on.
+        spec = self._fig2_spec()
+        plain_dir = tmp_path / "plain"
+        monitored_dir = tmp_path / "monitored"
+        plain = Executor(ExecutorConfig(trace_dir=str(plain_dir)))
+        monitored = Executor(
+            ExecutorConfig(
+                trace_dir=str(monitored_dir),
+                ledger_path=str(tmp_path / "ledger.jsonl"),
+                heartbeat_s=0.05,
+                profile=True,
+            )
+        )
+        assert plain.run([spec]) == monitored.run([spec])
+        (plain_file,) = sorted(plain_dir.iterdir())
+        (monitored_file,) = sorted(monitored_dir.iterdir())
+        assert plain_file.read_bytes() == monitored_file.read_bytes()
+
+    def test_disabled_monitoring_leaves_no_ledger(self, tmp_path):
+        Executor(ExecutorConfig()).run(_specs([3]))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cache_hits_closed_by_parent(self, tmp_path):
+        from repro.obs.live import LedgerState
+
+        cache_config = ExecutorConfig(use_cache=True, cache_dir=str(tmp_path))
+        Executor(cache_config).run(_specs([5]))
+        path = tmp_path / "ledger.jsonl"
+        warm = Executor(
+            ExecutorConfig(
+                use_cache=True, cache_dir=str(tmp_path), ledger_path=str(path)
+            )
+        )
+        warm.run(_specs([5]))
+        state = LedgerState.from_ledger(str(path))
+        (point,) = state.points.values()
+        assert point.status == "done"
+        assert point.cache == "hit"
+        assert point.wall_s == 0.0
+        assert state.end["cached"] == 1
+
+    def test_failing_sweep_ledger_matches_sweep_point_telemetry(self, tmp_path):
+        # Satellite: in a seeded failing sweep, the ledger's final state
+        # (after attempt supersession) and the sweep_point telemetry tell
+        # the same story — same verdicts, same error, attempts == retries.
+        from repro.obs import read_events
+        from repro.obs.live import LedgerState
+
+        ledger_path = tmp_path / "ledger.jsonl"
+        telemetry_path = tmp_path / "telemetry.jsonl"
+        executor = Executor(
+            ExecutorConfig(
+                ledger_path=str(ledger_path),
+                telemetry_path=str(telemetry_path),
+            )
+        )
+        boom = PointSpec.make(
+            "testfig",
+            "_test_square",
+            1,
+            params={"value": 9, "boom": True},
+            seed=101,
+        )
+        with pytest.raises(SweepError):
+            executor.run(_specs([1]) + [boom])
+
+        # Both attempts of the failing point hit the ledger; the reducer
+        # keeps only the last one.
+        starts = read_events(str(ledger_path), kind="point_start")
+        assert [e["attempt"] for e in starts if e["index"] == 1] == [0, 1]
+        state = LedgerState.from_ledger(str(ledger_path))
+        assert state.end["ok"] is False
+
+        rows = {e["index"]: e for e in read_events(str(telemetry_path))}
+        for point in state.points.values():
+            row = rows[point.index]
+            assert (point.status == "done") == row["ok"]
+            assert point.seed == row["seed"]
+            if point.status == "failed":
+                assert point.attempt == row["retries"] == 1
+                assert point.error == row["error"]
+                assert "boom 9" in point.error
+            else:
+                assert point.wall_s == row["wall_s"]
+
+    def test_heartbeats_from_slow_points(self, tmp_path):
+        import time as time_module
+
+        from repro.obs import read_events
+
+        @point_function("_test_sleepy")
+        def _sleepy(spec):
+            time_module.sleep(0.2)
+            return {"ok": True}
+
+        path = tmp_path / "ledger.jsonl"
+        Executor(
+            ExecutorConfig(ledger_path=str(path), heartbeat_s=0.05)
+        ).run([PointSpec.make("f", "_test_sleepy", 0, {})])
+        beats = read_events(str(path), kind="point_heartbeat")
+        assert beats
+        assert all(b["elapsed_s"] > 0 for b in beats)
+        assert all(b["worker"] == os.getpid() for b in beats)
+
+    def test_parallel_sweep_ledger_is_complete(self, tmp_path):
+        from repro.obs.live import LedgerState
+
+        path = tmp_path / "ledger.jsonl"
+        Executor(
+            ExecutorConfig(workers=2, ledger_path=str(path))
+        ).run(_specs([1, 2, 3]))
+        state = LedgerState.from_ledger(str(path))
+        assert state.counts() == {"done": 3, "failed": 0, "running": 0}
+        assert state.start["workers"] == 2
+        assert state.end["ok"] is True
+
+    def test_profile_merges_workers_and_rides_sweep_end(self, tmp_path):
+        from repro.obs import read_events
+
+        path = tmp_path / "ledger.jsonl"
+        executor = Executor(
+            ExecutorConfig(ledger_path=str(path), profile=True)
+        )
+        executor.run([self._fig2_spec()])
+        snap = executor.profile.snapshot()
+        # The fig2 point runs real engines; their ambient phase timers
+        # must surface in the merged sweep profile.
+        assert snap["phases"]["kernel_apply"]["calls"] > 0
+        (end,) = read_events(str(path), kind="sweep_end")
+        assert end["profile"] == snap
+
+    def test_unprofiled_sweep_keeps_profile_empty(self, tmp_path):
+        executor = Executor(
+            ExecutorConfig(ledger_path=str(tmp_path / "l.jsonl"))
+        )
+        executor.run([self._fig2_spec()])
+        assert executor.profile.snapshot()["phases"] == {}
+
+    def test_env_configuration(self, monkeypatch):
+        for var in ("REPRO_LEDGER", "REPRO_HEARTBEAT_S", "REPRO_PROFILE_SWEEP"):
+            monkeypatch.delenv(var, raising=False)
+        config = default_executor_config()
+        assert config.ledger_path is None
+        assert config.heartbeat_s == 5.0
+        assert config.profile is False
+        monkeypatch.setenv("REPRO_LEDGER", "runs/ledger.jsonl")
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "0.5")
+        monkeypatch.setenv("REPRO_PROFILE_SWEEP", "1")
+        config = default_executor_config()
+        assert config.ledger_path == "runs/ledger.jsonl"
+        assert config.heartbeat_s == 0.5
+        assert config.profile is True
+        # A malformed cadence falls back instead of crashing the sweep.
+        monkeypatch.setenv("REPRO_HEARTBEAT_S", "soon")
+        assert default_executor_config().heartbeat_s == 5.0
+        # Explicit arguments beat the environment.
+        assert default_executor_config(heartbeat_s=2.0).heartbeat_s == 2.0
+
+
 class TestPerPointTraces:
     """Satellite: trace_dir writes one deterministic trace per point."""
 

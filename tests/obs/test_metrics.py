@@ -10,7 +10,7 @@ from repro.core.problem import Problem
 from repro.heuristics import standard_heuristics
 from repro.locd.algorithms import LocalRarest
 from repro.locd.runner import run_local
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, current_metrics, metrics_active
 from repro.sim.engine import run_heuristic
 from repro.topology import random_graph
 from repro.workloads import single_file
@@ -70,6 +70,89 @@ class TestInstruments:
         assert snap["counters"] == {"c": 1}
         assert snap["gauges"] == {"g": 2.5}
         assert snap["phases"]["t"]["calls"] == 1
+
+
+class TestMergeAndSnapshot:
+    def _registry(self) -> MetricsRegistry:
+        metrics = MetricsRegistry()
+        metrics.counter("steps").inc(3)
+        metrics.gauge("deficit").set(7.0)
+        for v in (1.0, 5.0):
+            metrics.histogram("gains").observe(v)
+        metrics.phase("kernel_apply").add(0.25)
+        metrics.phase("kernel_apply").add(0.25)
+        return metrics
+
+    def test_merge_combines_every_instrument_kind(self):
+        a, b = self._registry(), self._registry()
+        b.gauge("deficit").set(2.0)
+        b.histogram("gains").observe(9.0)
+        assert a.merge(b) is a  # chains
+        snap = a.snapshot()
+        assert snap["counters"]["steps"] == 6  # counters add
+        assert snap["gauges"]["deficit"] == 2.0  # gauges last-write-wins
+        assert snap["histograms"]["gains"]["count"] == 5
+        assert snap["histograms"]["gains"]["min"] == 1.0
+        assert snap["histograms"]["gains"]["max"] == 9.0
+        assert snap["phases"]["kernel_apply"]["calls"] == 4
+        assert snap["phases"]["kernel_apply"]["seconds"] == 1.0
+
+    def test_merge_into_empty_is_identity(self):
+        source = self._registry()
+        merged = MetricsRegistry().merge(source)
+        assert merged.snapshot() == source.snapshot()
+
+    def test_from_snapshot_round_trip_is_exact(self):
+        snap = self._registry().snapshot()
+        assert MetricsRegistry.from_snapshot(snap).snapshot() == snap
+
+    def test_empty_snapshot_round_trips(self):
+        snap = MetricsRegistry().snapshot()
+        assert MetricsRegistry.from_snapshot(snap).snapshot() == snap
+
+    def test_worker_snapshots_merge_like_registries(self):
+        # The executor's aggregation path: workers snapshot (JSON), the
+        # parent rebuilds and merges — equal to merging the registries.
+        import json
+
+        a, b = self._registry(), self._registry()
+        via_json = MetricsRegistry()
+        for worker in (a, b):
+            shipped = json.loads(json.dumps(worker.snapshot()))
+            via_json.merge(MetricsRegistry.from_snapshot(shipped))
+        direct = MetricsRegistry().merge(a).merge(b)
+        assert via_json.snapshot() == direct.snapshot()
+
+
+class TestAmbientMetrics:
+    def test_default_is_none(self):
+        assert current_metrics() is None
+
+    def test_metrics_active_scopes_and_restores(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with metrics_active(outer):
+            assert current_metrics() is outer
+            with metrics_active(inner):
+                assert current_metrics() is inner
+            assert current_metrics() is outer
+        assert current_metrics() is None
+
+    def test_engine_records_into_ambient_registry(self):
+        metrics = MetricsRegistry()
+        with metrics_active(metrics):
+            result = run_heuristic(_problem(), standard_heuristics()[0], seed=7)
+        snap = metrics.snapshot()
+        assert snap["counters"]["steps"] == result.makespan
+        assert snap["phases"]["kernel_apply"]["calls"] == result.makespan
+
+    def test_explicit_registry_beats_ambient(self):
+        ambient, explicit = MetricsRegistry(), MetricsRegistry()
+        with metrics_active(ambient):
+            run_heuristic(
+                _problem(), standard_heuristics()[0], seed=7, metrics=explicit
+            )
+        assert ambient.snapshot() == MetricsRegistry().snapshot()
+        assert explicit.snapshot()["counters"]["steps"] > 0
 
 
 class TestEngineProfiling:
