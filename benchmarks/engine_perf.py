@@ -316,13 +316,20 @@ def write_baseline(
     cases = measure(
         repeats, kernel_override=kernel_override, include_heavy=include_heavy
     )
-    if not include_heavy and BASELINE_PATH.exists():
-        # Keep the committed heavy entries (they are measured rarely,
-        # with --heavy) instead of silently dropping them.
+    if BASELINE_PATH.exists():
         previous = json.loads(BASELINE_PATH.read_text())["cases"]
-        for label, case in CASES.items():
-            if case.heavy and label in previous and label not in cases:
-                cases[label] = previous[label]
+        for label, entry in previous.items():
+            if label in cases:
+                continue
+            if label not in CASES:
+                # Entries owned by other harnesses (e.g. benchmarks/
+                # attribution_overhead.py) must survive regeneration.
+                cases[label] = entry
+                print(f"{label}: kept entry owned by another harness")
+            elif CASES[label].heavy and not include_heavy:
+                # Heavy entries are measured rarely, with --heavy; keep
+                # them instead of silently dropping them.
+                cases[label] = entry
                 print(f"{label}: kept committed entry (rerun with --heavy)")
     payload = {
         "_comment": (

@@ -1,4 +1,4 @@
-"""The whole-program ocdlint rules (OCD010–OCD015).
+"""The whole-program ocdlint rules (OCD010–OCD016).
 
 Where OCD001–OCD008 inspect one module at a time, these rules consume
 the :class:`repro.checks.program.ProgramIndex` — symbol table, call
@@ -18,6 +18,8 @@ message.
 * OCD015 — ``propose_vector`` fast paths drawing RNG outside the
   documented stream-order protocol (scalar-identical draw methods on
   the engine RNG; no fresh or numpy streams).
+* OCD016 — trace JSONL parsed with raw ``json.loads`` instead of the
+  canonical schema readers in :mod:`repro.obs.events`.
 """
 
 from __future__ import annotations
@@ -42,6 +44,7 @@ __all__ = [
     "TraceContractRule",
     "MultiprocessingSafetyRule",
     "VectorStreamOrderRule",
+    "TraceRawReadRule",
 ]
 
 
@@ -601,3 +604,76 @@ class VectorStreamOrderRule(ProgramRule):
             f"({allowed}) keep the word stream byte-identical "
             f"(docs/MODEL.md §8)"
         )
+
+
+# ======================================================================
+# OCD016 — trace lines parsed outside the canonical schema readers
+# ======================================================================
+@register_rule
+class TraceRawReadRule(ProgramRule):
+    """The schema contract holds only if every consumer reads traces
+    through :mod:`repro.obs.events` (``read_events`` / ``iter_events`` /
+    ``read_events_tail``), which enforce the envelope, reject unknown
+    records, and own tail/partial-line semantics.  A module in the
+    observability layer calling ``json.loads`` on lines directly gets
+    none of that — it silently accepts records the schema would refuse
+    and breaks the moment ``SCHEMA_VERSION`` bumps.  This rule flags any
+    ``json.loads`` call in ``repro.obs`` outside the reader module
+    itself, through any import spelling (``import json``,
+    ``import json as j``, ``from json import loads``).
+
+    ``json.load`` (whole-file, e.g. bench snapshots) is deliberately not
+    flagged: the contract covers line-oriented *trace* records.  Vetted
+    exceptions (the legacy-telemetry converter, which exists precisely
+    to parse pre-schema lines) carry ``# ocd: ignore[OCD016]``.
+    """
+
+    code = "OCD016"
+    name = "trace-raw-read"
+    summary = "trace JSONL parsed directly instead of via repro.obs.events"
+    invariant = (
+        "observability schema: every trace line reaches consumers "
+        "through the canonical readers in repro.obs.events, so envelope "
+        "checks and schema versioning cannot be bypassed"
+    )
+    packages = frozenset({"obs"})
+    exclude_packages = frozenset({"tests"})
+
+    #: The one module allowed to parse raw trace lines.
+    _READER_MODULE = "repro.obs.events"
+
+    def check_program(self, index: ProgramIndex) -> List[Diagnostic]:
+        diags: List[Diagnostic] = []
+        for mod in index.modules:
+            if not self.reports_in(mod.package):
+                continue
+            if mod.module == self._READER_MODULE:
+                continue
+            for fn in mod.functions:
+                for call in fn.calls:
+                    if not self._is_raw_loads(mod, call.ref):
+                        continue
+                    diags.append(
+                        self.diagnostic(
+                            mod.path,
+                            call.line,
+                            call.col,
+                            f"{fn.qname.rsplit('.', 1)[-1]}() parses JSON "
+                            f"lines with json.loads; trace records must be "
+                            f"read via repro.obs.events (read_events / "
+                            f"iter_events / read_events_tail) so the "
+                            f"schema envelope is enforced",
+                        )
+                    )
+        return diags
+
+    @staticmethod
+    def _is_raw_loads(mod: ModuleSummary, ref: str) -> bool:
+        kind, _, path = ref.partition(":")
+        if kind == "a":
+            root, _, rest = path.partition(".")
+            resolved = mod.aliases.get(root, root)
+            return f"{resolved}.{rest}" == "json.loads" if rest else False
+        if kind == "n":
+            return mod.aliases.get(path) == "json.loads"
+        return False

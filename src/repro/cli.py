@@ -28,8 +28,14 @@ Two halves:
 
       ocd-repro trace-diff a.trace.jsonl b.trace.jsonl
       ocd-repro trace-verify trace.jsonl [more.jsonl ...]
+      ocd-repro trace-attribute trace.jsonl --format json
+      ocd-repro trace-export trace.jsonl --format chrome --out run.chrome.json
       ocd-repro bench-trend BENCH_engine.json new_bench.json --threshold 0.1
       ocd-repro trace-scan traces/ --fail-on-anomaly
+
+  ``report``, ``trace-verify``, ``trace-scan``, ``trace-attribute`` and
+  ``bench-trend`` all take ``--format json`` for deterministic
+  sorted-key JSON output.
 
 * live monitoring — follow a sweep while it runs
   (``repro.obs.live``)::
@@ -271,6 +277,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "deterministic sorted-key JSON",
     )
 
+    attribute = sub.add_parser(
+        "trace-attribute",
+        help="explain each traced run's makespan: critical path, blocking "
+        "causes, and the lower-bound gap decomposition",
+    )
+    attribute.add_argument(
+        "traces", nargs="+", help="trace JSONL file(s) to attribute"
+    )
+    attribute.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or "
+        "deterministic sorted-key JSON (including one schema-valid "
+        "run_attribution event per run)",
+    )
+
+    export = sub.add_parser(
+        "trace-export",
+        help="export a trace's causal structure for external viewers",
+    )
+    export.add_argument("trace", help="path to a trace JSONL file")
+    export.add_argument(
+        "--format",
+        choices=("chrome", "dot"),
+        default="chrome",
+        help="chrome (trace-viewer/Perfetto JSON timeline, lane per "
+        "vertex, default) or dot (Graphviz dissemination trees)",
+    )
+    export.add_argument(
+        "--out",
+        default="-",
+        help="output path ('-' for stdout, the default)",
+    )
+
     trend = sub.add_parser(
         "bench-trend",
         help="compare two BENCH_engine.json snapshots and gate regressions",
@@ -288,6 +329,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.10,
         help="fail when any case's new/old ratio drops below 1 - threshold "
         "(default: 0.10)",
+    )
+    trend.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or "
+        "deterministic sorted-key JSON",
     )
 
     scan = sub.add_parser(
@@ -393,6 +441,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="render a trace JSONL file as a text timeline"
     )
     report.add_argument("trace", help="path to a trace JSONL file")
+    report.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or "
+        "deterministic sorted-key JSON",
+    )
 
     convert = sub.add_parser(
         "convert-telemetry",
@@ -417,6 +472,15 @@ def _build_parser() -> argparse.ArgumentParser:
 def _load_problem(path: str) -> Problem:
     with open(path) as handle:
         return Problem.from_dict(json.load(handle))
+
+
+def _emit_json(payload) -> None:
+    """The one ``--format json`` serializer: sorted keys, 2-space indent.
+
+    Every JSON-emitting verb goes through here so their output is
+    deterministic and byte-comparable across runs.
+    """
+    print(json.dumps(payload, sort_keys=True, indent=2))
 
 
 def _cmd_list() -> int:
@@ -720,11 +784,12 @@ def _cmd_trace_verify(args) -> int:
         reports.append(report)
     ok = all(report.ok for report in reports)
     if args.format == "json":
-        payload = {
-            "ok": ok,
-            "reports": [report.as_dict() for report in reports],
-        }
-        print(json.dumps(payload, sort_keys=True, indent=2))
+        _emit_json(
+            {
+                "ok": ok,
+                "reports": [report.as_dict() for report in reports],
+            }
+        )
     else:
         for report in reports:
             print(report.render())
@@ -741,7 +806,10 @@ def _cmd_bench_trend(args) -> int:
     except (OSError, ValueError) as error:
         print(f"bench-trend failed: {error}", file=sys.stderr)
         return 2
-    print(report.render())
+    if args.format == "json":
+        _emit_json(report.as_dict())
+    else:
+        print(report.render())
     return 0 if report.ok else 1
 
 
@@ -763,12 +831,13 @@ def _cmd_trace_scan(args) -> int:
         print(f"trace-scan failed: {error}", file=sys.stderr)
         return 2
     if args.format == "json":
-        payload = {
-            "anomalies": [anomaly.as_dict() for anomaly in anomalies],
-            "count": len(anomalies),
-            "paths": list(args.paths),
-        }
-        print(json.dumps(payload, sort_keys=True, indent=2))
+        _emit_json(
+            {
+                "anomalies": [anomaly.as_dict() for anomaly in anomalies],
+                "count": len(anomalies),
+                "paths": list(args.paths),
+            }
+        )
     else:
         if not args.follow:  # follow mode already streamed each finding
             for anomaly in anomalies:
@@ -830,8 +899,82 @@ def _cmd_watch(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.obs import render_trace_file
+    from repro.obs.events import read_events
+    from repro.obs.report import load_timelines
 
+    if args.format == "json":
+        try:
+            events = read_events(args.trace)
+        except (OSError, ValueError) as error:
+            print(f"report failed: {error}", file=sys.stderr)
+            return 2
+        header = next(
+            (e for e in events if e["event"] == "trace_header"), None
+        )
+        _emit_json(
+            {
+                "path": args.trace,
+                "header": header,
+                "runs": [t.as_dict() for t in load_timelines(events)],
+            }
+        )
+        return 0
     print(render_trace_file(args.trace), end="")
+    return 0
+
+
+def _cmd_trace_attribute(args) -> int:
+    from repro.obs.analyze import AttributionError, attribute_trace
+    from repro.obs.analyze.attribution import summary_event
+
+    reports = []
+    for path in args.traces:
+        try:
+            reports.append(attribute_trace(path))
+        except AttributionError as error:
+            print(f"trace-attribute refused {path}: {error}", file=sys.stderr)
+            return 2
+        except (OSError, ValueError) as error:
+            print(f"trace-attribute failed on {path}: {error}", file=sys.stderr)
+            return 2
+    if args.format == "json":
+        _emit_json(
+            {
+                "reports": [report.as_dict() for report in reports],
+                "events": [
+                    summary_event(run)
+                    for report in reports
+                    for run in report.runs
+                ],
+            }
+        )
+    else:
+        for report in reports:
+            print(report.render())
+    return 0
+
+
+def _cmd_trace_export(args) -> int:
+    from repro.obs.analyze import chrome_trace, dot_forest
+    from repro.obs.events import read_events
+
+    try:
+        events = read_events(args.trace)
+        if args.format == "chrome":
+            rendered = json.dumps(
+                chrome_trace(events, path=args.trace), sort_keys=True, indent=2
+            )
+        else:
+            rendered = dot_forest(events, path=args.trace).rstrip("\n")
+    except (OSError, ValueError) as error:
+        print(f"trace-export failed on {args.trace}: {error}", file=sys.stderr)
+        return 2
+    if args.out == "-":
+        print(rendered)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -887,6 +1030,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace_diff(args)
     if args.command == "trace-verify":
         return _cmd_trace_verify(args)
+    if args.command == "trace-attribute":
+        return _cmd_trace_attribute(args)
+    if args.command == "trace-export":
+        return _cmd_trace_export(args)
     if args.command == "bench-trend":
         return _cmd_bench_trend(args)
     if args.command == "trace-scan":

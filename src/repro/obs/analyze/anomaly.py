@@ -26,6 +26,15 @@ Thresholds live in :class:`ScanThresholds`; the defaults are tuned for
 the repo's small benchmark instances and every CLI flag maps onto one
 field.
 
+Span and failure anomalies additionally carry a *dominant blocking
+cause* — the most frequent :data:`repro.obs.analyze.causal.
+BLOCKING_CATEGORIES` entry among the span's idle vertex-steps, derived
+from the same forest replay ``trace-attribute`` uses — so the scan (and
+the ``watch`` dashboard on top of it) says not just *where* a run went
+quiet but *why*.  Cause derivation is best-effort: traces that cannot
+be replayed (pre-analytics schema, dynamic-conditions runs) simply
+yield ``cause: None`` and the anomaly stands on its own.
+
 Streaming scans (:class:`repro.obs.live.IncrementalScanner`) pass
 ``open_tail=True``: the *final* run of a still-growing trace is treated
 as in progress — its missing ``run_end`` is expected, not a
@@ -38,8 +47,15 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.analyze.causal import (
+    CausalError,
+    blocking_table,
+    build_forest,
+    dominant_category,
+)
+from repro.obs.analyze.runs import TraceRun
 from repro.obs.events import read_events
 from repro.obs.report import RunTimeline, load_timelines
 
@@ -71,12 +87,18 @@ class Anomaly:
     #: First step of the anomalous span (None for run-level anomalies).
     step: int | None
     detail: str
+    #: Dominant blocking cause over the span (a BLOCKING_CATEGORIES
+    #: entry), or None when cause derivation was not possible.
+    cause: str | None = None
 
     def render(self) -> str:
         where = f"{self.path} run {self.run} ({self.heuristic})"
         if self.step is not None:
             where += f" step {self.step}"
-        return f"{where}: [{self.kind}] {self.detail}"
+        line = f"{where}: [{self.kind}] {self.detail}"
+        if self.cause is not None:
+            line += f" -- dominant cause: {self.cause}"
+        return line
 
     def as_dict(self) -> dict:
         """JSON-able view for ``--format json`` and the watch dashboard."""
@@ -87,6 +109,7 @@ class Anomaly:
             "kind": self.kind,
             "step": self.step,
             "detail": self.detail,
+            "cause": self.cause,
         }
 
 
@@ -101,6 +124,29 @@ def _constant_spans(values: Sequence[int]) -> List[tuple[int, int, int]]:
     return spans
 
 
+def _run_blocking(timeline: RunTimeline) -> Dict[Tuple[int, int], str]:
+    """Best-effort blocking table for one timeline; empty on any gap.
+
+    Dynamic-conditions runs are excluded up front: their arc-level
+    categories would be computed against the declared (static) arc set
+    and could name the wrong cause with confidence.
+    """
+    if str(timeline.start.get("engine", "?")) == "dynamic":
+        return {}
+    try:
+        forest = build_forest(
+            TraceRun(
+                run=timeline.run,
+                start=timeline.start or None,
+                steps=list(timeline.steps),
+                end=timeline.end,
+            )
+        )
+        return blocking_table(forest)
+    except (CausalError, ValueError, KeyError, IndexError, TypeError):
+        return {}
+
+
 def _scan_run(
     timeline: RunTimeline,
     path: str,
@@ -108,8 +154,21 @@ def _scan_run(
     open_tail: bool = False,
 ) -> List[Anomaly]:
     found: List[Anomaly] = []
+    blocking: Optional[Dict[Tuple[int, int], str]] = None
 
-    def flag(kind: str, step: int | None, detail: str) -> None:
+    def span_cause(lo: int, hi: int) -> str | None:
+        nonlocal blocking
+        if blocking is None:
+            blocking = _run_blocking(timeline)
+        counts: Dict[str, int] = {}
+        for (_vertex, step), category in blocking.items():
+            if lo <= step <= hi:
+                counts[category] = counts.get(category, 0) + 1
+        return dominant_category(counts) if counts else None
+
+    def flag(
+        kind: str, step: int | None, detail: str, cause: str | None = None
+    ) -> None:
         found.append(
             Anomaly(
                 path=path,
@@ -118,6 +177,7 @@ def _scan_run(
                 kind=kind,
                 step=step,
                 detail=detail,
+                cause=cause,
             )
         )
 
@@ -128,6 +188,7 @@ def _scan_run(
                 "stall-span",
                 lo,
                 f"{length} consecutive zero-gain steps [{lo}..{hi}]",
+                cause=span_cause(lo, hi),
             )
     deficits = [d for _, d in timeline.deficit_curve()]
     steps = [s for s, _ in timeline.deficit_curve()]
@@ -139,6 +200,7 @@ def _scan_run(
                 steps[lo],
                 f"deficit stuck at {value} for {length} steps "
                 f"[{steps[lo]}..{steps[hi]}]",
+                cause=span_cause(steps[lo], steps[hi]),
             )
     utils = [float(s.get("arc_util", 0.0)) for s in timeline.steps]
     quiet_lo: int | None = None
@@ -156,6 +218,7 @@ def _scan_run(
                     f"arc utilization <= {thresholds.util_floor:.0%} for "
                     f"{length} steps [{steps[quiet_lo]}..{steps[i - 1]}] "
                     f"with demand outstanding",
+                    cause=span_cause(steps[quiet_lo], steps[i - 1]),
                 )
             quiet_lo = None
     if timeline.end is None:
@@ -170,6 +233,7 @@ def _scan_run(
             "failed-run",
             None,
             f"run ended unsatisfied after {timeline.end.get('makespan')} steps",
+            cause=span_cause(0, len(timeline.steps)),
         )
     return found
 

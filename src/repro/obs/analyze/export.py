@@ -1,0 +1,161 @@
+"""Trace exports for external viewers: Chrome trace-viewer and Graphviz.
+
+Two renderings of the causal structure :mod:`repro.obs.analyze.causal`
+reconstructs, for the two questions a human asks of a slow run:
+
+* :func:`chrome_trace` — *when did everything happen?*  A Chrome
+  trace-viewer (``chrome://tracing`` / Perfetto) JSON object with one
+  process per run and one lane (thread) per vertex; every transfer is a
+  complete event on the receiving vertex's lane, one timestep = 1ms of
+  viewer time, and critical-path hops carry their own category so they
+  can be highlighted.  Timestamps are *simulated* steps — nothing here
+  reads a clock, so the export is a deterministic function of the trace.
+
+* :func:`dot_forest` — *where did each token come from?*  A Graphviz
+  ``digraph`` with one cluster per (run, token): the dissemination tree
+  rooted at the initial holders, each edge a parent transfer labeled
+  with its step, critical-path edges emphasized.
+
+Both are pure functions of the parsed event stream, built on the same
+core-free forest replay as the rest of the analyzers; dynamic-conditions
+runs are exported too (their forest is still well-defined — only
+arc-*capacity* reasoning is not).  Corrupt traces fail with the fault
+step named, exactly as attribution does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.obs.analyze.causal import build_forest, critical_path
+from repro.obs.analyze.runs import JsonDict, split_runs
+
+__all__ = ["chrome_trace", "dot_forest"]
+
+#: Viewer microseconds per simulated timestep (1ms lanes read well).
+_STEP_US = 1000
+
+
+def _critical_hops(forest: Any) -> Set[Tuple[int, int, int, int]]:
+    return {
+        (hop.step, hop.src, hop.dst, hop.token)
+        for hop in critical_path(forest).hops
+    }
+
+
+def chrome_trace(
+    events: Sequence[JsonDict], path: str = "<events>"
+) -> Dict[str, Any]:
+    """Render an event stream as a Chrome trace-viewer JSON object."""
+    _header, runs = split_runs(events)
+    trace_events: List[Dict[str, Any]] = []
+    for run in runs:
+        forest = build_forest(run)
+        critical = _critical_hops(forest)
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": forest.run,
+                "tid": 0,
+                "args": {
+                    "name": f"run {forest.run}: {forest.heuristic} "
+                    f"[{forest.engine}]"
+                },
+            }
+        )
+        for v in range(forest.instance.num_vertices):
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": forest.run,
+                    "tid": v,
+                    "args": {"name": f"v{v}"},
+                }
+            )
+        for step, triples in enumerate(forest.transfers):
+            for src, dst, tokens in triples:
+                for token in tokens:
+                    on_path = (step, src, dst, token) in critical
+                    trace_events.append(
+                        {
+                            "ph": "X",
+                            "name": f"t{token} {src}->{dst}",
+                            "cat": "critical-path" if on_path else "transfer",
+                            "pid": forest.run,
+                            "tid": dst,
+                            "ts": step * _STEP_US,
+                            "dur": _STEP_US,
+                            "args": {
+                                "step": step,
+                                "src": src,
+                                "dst": dst,
+                                "token": token,
+                            },
+                        }
+                    )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": path, "step_us": _STEP_US},
+    }
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def dot_forest(events: Sequence[JsonDict], path: str = "<events>") -> str:
+    """Render an event stream's dissemination forest as Graphviz DOT."""
+    _header, runs = split_runs(events)
+    lines = ["digraph dissemination {", "  rankdir=LR;", f"  // {path}"]
+    for run in runs:
+        forest = build_forest(run)
+        critical = _critical_hops(forest)
+        by_token: Dict[int, List[Any]] = {}
+        for arrival in forest.arrivals.values():
+            by_token.setdefault(arrival.token, []).append(arrival)
+        for token in sorted(by_token):
+            arrivals = sorted(
+                by_token[token], key=lambda a: (a.step, a.vertex)
+            )
+            lines.append(f"  subgraph cluster_r{forest.run}_t{token} {{")
+            lines.append(
+                f'    label="run {forest.run} token {token}";'
+            )
+            # Roots: initial holders that parented at least one arrival.
+            roots = sorted(
+                {
+                    a.src
+                    for a in arrivals
+                    if forest.instance.have_masks[a.src] >> token & 1
+                }
+            )
+            for v in roots:
+                node = _quote(f"r{forest.run}t{token}v{v}")
+                lines.append(
+                    f'    {node} [label="v{v} (root)" shape=doublecircle];'
+                )
+            for a in arrivals:
+                node = _quote(f"r{forest.run}t{token}v{a.vertex}")
+                wanted = forest.instance.want_masks[a.vertex] >> token & 1
+                shape = "box" if wanted else "ellipse"
+                lines.append(
+                    f'    {node} [label="v{a.vertex} @{a.step}" '
+                    f"shape={shape}];"
+                )
+            for a in arrivals:
+                src = _quote(f"r{forest.run}t{token}v{a.src}")
+                dst = _quote(f"r{forest.run}t{token}v{a.vertex}")
+                style = (
+                    " color=red penwidth=2"
+                    if (a.step, a.src, a.vertex, a.token) in critical
+                    else ""
+                )
+                lines.append(
+                    f'    {src} -> {dst} [label="step {a.step}"{style}];'
+                )
+            lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

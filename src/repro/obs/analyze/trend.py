@@ -64,6 +64,17 @@ class CaseTrend:
     def regressed(self, threshold: float) -> bool:
         return self.ratio < 1.0 - threshold
 
+    def as_dict(self, threshold: float) -> Dict[str, Any]:
+        """JSON-able view for ``--format json`` consumers."""
+        return {
+            "label": self.label,
+            "metric": self.metric,
+            "old": self.old,
+            "new": self.new,
+            "ratio": self.ratio if math.isfinite(self.ratio) else None,
+            "regressed": self.regressed(threshold),
+        }
+
     def render(self, threshold: float) -> str:
         verdict = "REGRESSED" if self.regressed(threshold) else "ok"
         return (
@@ -92,6 +103,19 @@ class TrendReport:
     @property
     def ok(self) -> bool:
         return not self.regressions
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able view for ``--format json`` consumers."""
+        return {
+            "old_path": self.old_path,
+            "new_path": self.new_path,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "cases": [c.as_dict(self.threshold) for c in self.cases],
+            "added": list(self.added),
+            "removed": list(self.removed),
+        }
 
     def render(self) -> str:
         lines = [

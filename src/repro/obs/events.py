@@ -27,6 +27,12 @@ Event kinds
 ``sweep_point``
     One executed (or cache-served) sweep grid point — the executor's
     telemetry row (see :mod:`repro.experiments.sweep`).
+``run_attribution``
+    One run's *derived* makespan attribution — critical-path shape,
+    blocking-cause totals, and the lower-bound gap decomposition — as
+    produced by :mod:`repro.obs.analyze.attribution`.  Engines never
+    emit it: it is computed post hoc from a trace's own events, and
+    appears only in ``trace-attribute`` output streams.
 ``sweep_start`` / ``point_start`` / ``point_heartbeat`` / ``point_end``
     / ``sweep_end``
     The live *run ledger* (:mod:`repro.obs.live`): the sweep executor's
@@ -74,6 +80,7 @@ EVENT_KINDS = (
     "point_heartbeat",
     "point_end",
     "sweep_end",
+    "run_attribution",
 )
 
 JsonDict = Dict[str, Any]
@@ -247,6 +254,32 @@ EVENT_SCHEMAS: Dict[str, EventSchema] = {
                 "wall_s": "float",
             },
             optional={"profile": "dict"},
+        ),
+        # -- derived analytics kinds (repro.obs.analyze) ---------------
+        # Never emitted by an engine: computed post hoc from a trace's
+        # own run events, so attribution output is itself a valid event
+        # stream any schema-aware consumer can read.
+        EventSchema(
+            kind="run_attribution",
+            required={
+                "engine": "str",
+                "heuristic": "str",
+                "problem": "str",
+                "makespan": "int",
+                "success": "bool",
+                "bound_lookahead": "int",
+                "bound_diameter": "int",
+                "gap": "int",
+                "gap_terms": "dict",
+                "blocking": "dict",
+                "path_length": "int",
+                "path_hops": "int",
+                "path_wait_steps": "int",
+                "dominant_cause": "str",
+                "arrivals": "int",
+                "zero_slack": "int",
+                "max_slack": "int",
+            },
         ),
         EventSchema(
             kind="sweep_point",

@@ -98,6 +98,37 @@ class RunTimeline:
             out.append((name, lo, hi, sum(gains[lo : hi + 1])))
         return out
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able view for ``report --format json`` consumers."""
+        utils = [float(s.get("arc_util", 0.0)) for s in self.steps]
+        end = self.end
+        return {
+            "run": self.run,
+            "heuristic": self.heuristic,
+            "engine": str(self.start.get("engine", "?")),
+            "problem": str(self.start.get("problem", "?")),
+            "initial_deficit": self.initial_deficit,
+            "end": {
+                "success": bool(end.get("success")),
+                "makespan": end.get("makespan"),
+                "bandwidth": end.get("bandwidth"),
+            }
+            if end is not None
+            else None,
+            "deficit_curve": [list(p) for p in self.deficit_curve()],
+            "stall_spans": [list(s) for s in self.stall_spans()],
+            "phases": [
+                {"name": name, "first": lo, "last": hi, "gained": gain}
+                for name, lo, hi, gain in self.phases()
+            ],
+            "arc_util": {
+                "mean": sum(utils) / len(utils),
+                "peak": max(utils),
+            }
+            if utils
+            else None,
+        }
+
 
 def load_timelines(events: Sequence[Dict[str, Any]]) -> List[RunTimeline]:
     """Group a trace's events into per-run timelines."""

@@ -1,4 +1,4 @@
-"""Fixture packages for the whole-program rules (OCD010–OCD014).
+"""Fixture packages for the whole-program rules (OCD010–OCD016).
 
 Each fixture is a tiny multi-module "package": sources linted together
 under impersonated paths, so cross-module resolution, re-export chasing,
@@ -887,5 +887,105 @@ class TestVectorStreamOrder:
                     """
             },
             select=["OCD015"],
+        )
+        assert diags == []
+
+
+# ======================================================================
+# OCD016 — trace lines parsed outside the canonical schema readers
+# ======================================================================
+class TestTraceRawRead:
+    def test_direct_json_loads_in_obs_fires(self):
+        diags = program_lint(
+            {
+                OBS: """
+                    import json
+
+                    def read_raw(path):
+                        with open(path) as fh:
+                            return [json.loads(line) for line in fh]
+                    """
+            },
+            select=["OCD016"],
+        )
+        assert len(diags) == 1
+        assert "repro.obs.events" in diags[0].message
+
+    def test_from_import_and_alias_spellings_fire(self):
+        diags = program_lint(
+            {
+                OBS: """
+                    import json as j
+                    from json import loads
+
+                    def read_one(line):
+                        return loads(line)
+
+                    def read_other(line):
+                        return j.loads(line)
+                    """
+            },
+            select=["OCD016"],
+        )
+        assert len(diags) == 2
+
+    def test_events_module_itself_is_exempt(self):
+        diags = program_lint(
+            {
+                "src/repro/obs/events.py": """
+                    import json
+
+                    def iter_events(path):
+                        with open(path) as fh:
+                            for line in fh:
+                                yield json.loads(line)
+                    """
+            },
+            select=["OCD016"],
+        )
+        assert diags == []
+
+    def test_whole_file_json_load_is_not_flagged(self):
+        # Bench snapshots and problem files are whole-document JSON,
+        # not trace lines; only line-oriented json.loads is the hazard.
+        diags = program_lint(
+            {
+                OBS: """
+                    import json
+
+                    def load_bench(path):
+                        with open(path) as fh:
+                            return json.load(fh)
+                    """
+            },
+            select=["OCD016"],
+        )
+        assert diags == []
+
+    def test_outside_obs_is_out_of_scope(self):
+        diags = program_lint(
+            {
+                EXPERIMENTS: """
+                    import json
+
+                    def read_cache_row(line):
+                        return json.loads(line)
+                    """
+            },
+            select=["OCD016"],
+        )
+        assert diags == []
+
+    def test_suppression_comment_silences(self):
+        diags = program_lint(
+            {
+                OBS: """
+                    import json
+
+                    def upgrade(line):
+                        return json.loads(line)  # ocd: ignore[OCD016] -- legacy
+                    """
+            },
+            select=["OCD016"],
         )
         assert diags == []

@@ -1,0 +1,402 @@
+"""Attribution invariants, seeded-fault localization, and exports.
+
+The acceptance contract of the causal layer, pinned four ways:
+
+* the critical path tiles the run — its length equals the makespan;
+* every on-path transfer carries zero slack (and none is negative);
+* the blocking categories partition the idle vertex-steps exactly;
+* the gap-decomposition terms sum to ``makespan − max(bounds)``, to
+  the integer, for successful, failed, and negative-gap runs alike.
+
+Plus the refusal contract: a mutated transfer and a dropped arrival
+must abort attribution loudly *at the fault step*, never produce a
+confidently wrong forest.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import random
+from collections import Counter
+from typing import Any, Dict, List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.heuristics import standard_heuristics
+from repro.obs import RecordingTracer
+from repro.obs.analyze import (
+    BLOCKING_CATEGORIES,
+    GAP_SLACK_KEY,
+    AttributionError,
+    CausalError,
+    attribute_events,
+    blocking_table,
+    build_forest,
+    chrome_trace,
+    critical_path,
+    dot_forest,
+    split_runs,
+    summary_event,
+    transfer_slack,
+)
+from repro.obs.events import validate_event
+from repro.sim import run_heuristic
+from repro.topology import random_graph
+from repro.workloads import single_file
+from tests.conftest import make_random_problem
+
+
+def _engine_events(problem, seed: int, count: int | None = None):
+    tracer = RecordingTracer()
+    for heuristic in standard_heuristics()[:count]:
+        run_heuristic(problem, heuristic, seed=seed, tracer=tracer)
+    return tracer.events
+
+
+def _check_invariants(events) -> None:
+    """Assert the four attribution invariants over every run."""
+    report = attribute_events(events)
+    assert not report.skipped
+    _header, runs = split_runs(events)
+    assert len(report.runs) == len(runs)
+    for att, run in zip(report.runs, runs):
+        forest = build_forest(run)
+
+        # 1. The critical path tiles the timesteps exactly once.
+        assert att.makespan == forest.makespan
+        assert att.path.length == att.makespan
+
+        # 2. On-path transfers have zero slack; no slack is negative.
+        slacks = transfer_slack(forest)
+        assert all(s >= 0 for s in slacks.values())
+        for hop in att.path.hops:
+            assert slacks[(hop.dst, hop.token, hop.step)] == 0
+
+        # 3. The blocking table covers each idle vertex-step exactly
+        #    once (idleness re-derived here from the possession
+        #    snapshots, independently of the classifier).
+        table = blocking_table(forest)
+        idle = set()
+        want = forest.instance.want_masks
+        for step in range(forest.makespan):
+            before = forest.have_before[step]
+            after = forest.have_before[step + 1]
+            for v in range(forest.instance.num_vertices):
+                needed = want[v] & ~before[v]
+                if needed and not (after[v] & needed):
+                    idle.add((v, step))
+        assert set(table) == idle
+        assert set(table.values()) <= set(BLOCKING_CATEGORIES)
+        assert att.blocking == dict(Counter(table.values()))
+
+        # 4. The gap decomposition is exact and well-typed: category
+        #    terms are positive, only bound-slack may go negative.
+        assert att.gap == att.makespan - max(
+            att.bound_lookahead, att.bound_diameter
+        )
+        assert sum(att.gap_terms.values()) == att.gap
+        assert set(att.gap_terms) <= set(BLOCKING_CATEGORIES) | {GAP_SLACK_KEY}
+        for category in BLOCKING_CATEGORIES:
+            if category in att.gap_terms:
+                assert att.gap_terms[category] > 0
+
+
+class TestAttributionInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_random_instances_any_heuristic(self, seed):
+        rng = random.Random(seed)
+        problem = make_random_problem(rng, max_vertices=6, max_tokens=3)
+        heuristics = standard_heuristics()
+        heuristic = heuristics[seed % len(heuristics)]
+        tracer = RecordingTracer()
+        run_heuristic(problem, heuristic, seed=seed % 1000, tracer=tracer)
+        _check_invariants(tracer.events)
+
+    def test_multi_run_engine_trace(self):
+        problem = single_file(random_graph(12, random.Random(3)), file_tokens=6)
+        _check_invariants(_engine_events(problem, seed=3))
+
+    def test_attribution_is_deterministic(self):
+        problem = single_file(random_graph(10, random.Random(7)), file_tokens=5)
+        first = attribute_events(_engine_events(problem, seed=7)).as_dict()
+        second = attribute_events(_engine_events(problem, seed=7)).as_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+
+# ----------------------------------------------------------------------
+# A handcrafted 3-vertex chain (0 -> 1 -> 2, one token) whose two steps
+# are exactly the token's two hops: the whole run is critical path.
+# ----------------------------------------------------------------------
+def _chain_instance() -> Dict[str, Any]:
+    return {
+        "name": "chain",
+        "num_vertices": 3,
+        "num_tokens": 1,
+        "arcs": [[0, 1, 1], [1, 2, 1]],
+        "have": {"0": [0]},
+        "want": {"2": [0]},
+    }
+
+
+def _chain_trace() -> List[Dict[str, Any]]:
+    return [
+        {
+            "event": "run_start",
+            "run": 0,
+            "engine": "sim",
+            "heuristic": "handmade",
+            "total_deficit": 1,
+            "instance": _chain_instance(),
+        },
+        {
+            "event": "step",
+            "run": 0,
+            "step": 0,
+            "sends": 1,
+            "moves": 1,
+            "gained": 1,
+            "deficit": 1,
+            "deficit_by_vertex": [0, 0, 1],
+            "transfers": [[0, 1, [0]]],
+        },
+        {
+            "event": "step",
+            "run": 0,
+            "step": 1,
+            "sends": 1,
+            "moves": 1,
+            "gained": 1,
+            "deficit": 0,
+            "deficit_by_vertex": [0, 0, 0],
+            "transfers": [[1, 2, [0]]],
+        },
+        {
+            "event": "run_end",
+            "run": 0,
+            "success": True,
+            "makespan": 2,
+            "bandwidth": 2,
+        },
+    ]
+
+
+class TestHandmadeTraces:
+    def test_chain_is_all_critical_path(self):
+        report = attribute_events(_chain_trace())
+        (att,) = report.runs
+        assert att.path.length == att.makespan == 2
+        assert len(att.path.hops) == 2
+        assert att.path.wait_steps == 0
+        assert att.path.target_vertex == 2 and att.path.target_token == 0
+        # Two hops on a diameter-2 chain: the bound is met exactly.
+        assert att.gap == 0 and att.gap_terms == {}
+        assert sum(att.gap_terms.values()) == att.gap
+
+    def test_failed_run_gets_degenerate_path_of_full_length(self):
+        # One step in which nothing moves, then an honest failure: the
+        # path is a single wait segment still tiling steps 0..0.
+        events = _chain_trace()
+        events[1].update(
+            {"transfers": [], "sends": 0, "moves": 0, "gained": 0}
+        )
+        del events[2]  # drop the second step entirely
+        events[-1].update({"success": False, "makespan": 1, "bandwidth": 0})
+        report = attribute_events(events)
+        (att,) = report.runs
+        assert not att.success
+        assert att.path.length == att.makespan == 1
+        assert att.path.hops == []
+        assert att.path.wait_steps == 1
+        assert sum(att.gap_terms.values()) == att.gap
+
+    def test_dynamic_run_is_skipped_not_errored(self):
+        events = _chain_trace()
+        events[0]["engine"] = "dynamic"
+        report = attribute_events(events)
+        assert report.runs == []
+        (skip,) = report.skipped
+        assert skip.run == 0
+        assert "dynamic" in skip.reason
+
+
+class TestSeededFaults:
+    def test_mutated_transfer_fails_at_fault_step(self):
+        # Rewrite step 0's transfer so vertex 1 "sends" the token it has
+        # not yet received: attribution must refuse at step 0.
+        events = _chain_trace()
+        events[1]["transfers"] = [[1, 2, [0]]]
+        with pytest.raises(AttributionError) as excinfo:
+            attribute_events(events)
+        error = excinfo.value
+        assert error.run == 0
+        assert error.step == 0
+        assert error.invariant == "sender-possession"
+        assert "did not possess" in str(error)
+
+    def test_dropped_arrival_fails_at_first_broken_step(self):
+        # Delete step 0's delivery and keep that step self-consistent:
+        # the corruption now first bites at step 1, where the relay
+        # vertex sends a token it never received.
+        events = _chain_trace()
+        events[1].update(
+            {"transfers": [], "sends": 0, "moves": 0, "gained": 0}
+        )
+        with pytest.raises(AttributionError) as excinfo:
+            attribute_events(events)
+        error = excinfo.value
+        assert error.run == 0
+        assert error.step == 1
+        assert error.invariant == "sender-possession"
+
+    def test_forest_builder_localizes_without_validation(self):
+        # build_forest is the last line of defense when callers skip
+        # validate_events: same fault, same localization.
+        events = _chain_trace()
+        events[1]["transfers"] = [[1, 2, [0]]]
+        _header, (run,) = split_runs(events)
+        with pytest.raises(CausalError) as excinfo:
+            build_forest(run)
+        assert excinfo.value.run == 0
+        assert excinfo.value.step == 0
+
+    def test_truncated_trace_refused(self):
+        events = _chain_trace()[:-1]
+        with pytest.raises(AttributionError) as excinfo:
+            attribute_events(events)
+        assert excinfo.value.invariant == "trace-structure"
+        assert "no run_end" in str(excinfo.value)
+
+
+class TestExports:
+    def test_chrome_trace_shape_and_critical_marking(self):
+        events = _chain_trace()
+        payload = chrome_trace(events, path="chain")
+        assert payload["otherData"]["source"] == "chain"
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 2  # one per token-move
+        assert {e["cat"] for e in spans} == {"critical-path"}
+        names = [
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names == ["v0", "v1", "v2"]
+
+    def test_chrome_trace_marks_off_path_transfers(self):
+        problem = single_file(random_graph(12, random.Random(3)), file_tokens=6)
+        payload = chrome_trace(_engine_events(problem, seed=3, count=1))
+        cats = {e["cat"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert "critical-path" in cats and "transfer" in cats
+
+    def test_dot_forest_structure(self):
+        text = dot_forest(_chain_trace(), path="chain")
+        assert text.startswith("digraph dissemination {")
+        assert text.count("{") == text.count("}")
+        assert 'label="run 0 token 0"' in text
+        assert "(root)" in text and "doublecircle" in text
+        assert text.count("color=red penwidth=2") == 2  # both hops critical
+
+    def test_exports_are_deterministic(self):
+        problem = single_file(random_graph(10, random.Random(5)), file_tokens=4)
+        events = _engine_events(problem, seed=5, count=2)
+        once = json.dumps(chrome_trace(events), sort_keys=True)
+        again = json.dumps(chrome_trace(copy.deepcopy(events)), sort_keys=True)
+        assert once == again
+        assert dot_forest(events) == dot_forest(copy.deepcopy(events))
+
+
+class TestSummaryEvent:
+    def test_summary_events_conform_to_schema(self):
+        problem = single_file(random_graph(12, random.Random(3)), file_tokens=6)
+        report = attribute_events(_engine_events(problem, seed=3))
+        assert report.runs
+        for att in report.runs:
+            event = summary_event(att)
+            assert event["event"] == "run_attribution"
+            assert validate_event(event) == []
+            assert event["path_length"] == att.makespan
+            assert event["gap"] == sum(event["gap_terms"].values())
+
+
+# ----------------------------------------------------------------------
+# CLI verbs, end to end over a real traced scenario.
+# ----------------------------------------------------------------------
+@pytest.fixture
+def trace_file(tmp_path):
+    path = str(tmp_path / "sample.trace.jsonl")
+    assert (
+        main(
+            [
+                "trace",
+                "random",
+                "--seed",
+                "11",
+                "--size",
+                "10",
+                "--tokens",
+                "5",
+                "--heuristic",
+                "local",
+                "--out",
+                path,
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestCliTraceAttribute:
+    def test_text_report(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["trace-attribute", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "bounds:" in out
+
+    def test_json_is_valid_and_deterministic(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["trace-attribute", trace_file, "--format", "json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["trace-attribute", trace_file, "--format", "json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["reports"][0]["path"] == trace_file
+        for event in payload["events"]:
+            assert validate_event(event) == []
+
+    def test_truncated_trace_exits_nonzero(self, trace_file, tmp_path, capsys):
+        lines = open(trace_file).read().splitlines()
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text("\n".join(lines[:-1]) + "\n")
+        capsys.readouterr()
+        assert main(["trace-attribute", str(torn)]) == 2
+        err = capsys.readouterr().err
+        assert "trace-attribute refused" in err
+        assert "run" in err
+
+
+class TestCliTraceExport:
+    def test_chrome_export_round_trips(self, trace_file, tmp_path, capsys):
+        out = str(tmp_path / "chrome.json")
+        capsys.readouterr()
+        assert main(["trace-export", trace_file, "--out", out]) == 0
+        with open(out) as handle:
+            payload = json.load(handle)
+        assert payload["traceEvents"]
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_dot_export_to_stdout(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["trace-export", trace_file, "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph dissemination {")
+        assert out.rstrip().endswith("}")

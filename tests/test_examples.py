@@ -17,6 +17,11 @@ EXPECTED_OUTPUT = {
     "dynamic_network.py": ["uptime", "oracle", "parity"],
     "trace_inspect.py": ["schema-versioned", "convergence", "heuristic_select"],
     "trace_diff.py": ["byte-identical", "first divergence", "invariants hold"],
+    "trace_attribute.py": [
+        "critical path",
+        "gap attribution",
+        "waiting-for-token",
+    ],
 }
 
 
